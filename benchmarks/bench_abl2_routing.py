@@ -1,0 +1,11 @@
+"""ABL2 — Ablation: inter-LAB routing vs Table I frequencies.
+
+Regenerates the ablation through the experiment module and prints the
+rows with the structural verdicts.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_abl2(benchmark):
+    run_reproduction(benchmark, "ABL2")

@@ -1,0 +1,11 @@
+"""ABL3 — Ablation: process layers vs Table II structure.
+
+Regenerates the ablation through the experiment module and prints the
+rows with the structural verdicts.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_abl3(benchmark):
+    run_reproduction(benchmark, "ABL3")

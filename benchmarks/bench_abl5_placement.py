@@ -1,0 +1,10 @@
+"""ABL5 — Placement strategy vs frequency and jitter (ablation).
+
+Quantifies what the paper's manual same-LAB placement buys.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_abl5(benchmark):
+    run_reproduction(benchmark, "ABL5")

@@ -1,0 +1,11 @@
+"""EXT2 — Coherent-sampling capture band (extension).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext2(benchmark):
+    run_reproduction(benchmark, "EXT2")

@@ -1,0 +1,11 @@
+"""EXT3 — Jitter accumulation profiles (extension of Section IV).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext3(benchmark):
+    run_reproduction(benchmark, "EXT3")

@@ -1,0 +1,11 @@
+"""EXT4 — Multi-phase STR TRNG (the paper's announced future work).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext4(benchmark):
+    run_reproduction(benchmark, "EXT4")

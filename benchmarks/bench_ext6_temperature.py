@@ -1,0 +1,11 @@
+"""EXT6 — Temperature sweep (extension; the other knob of [1]).
+
+Regenerates the temperature characterization and prints the frequency
+series with the drift verdicts.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext6(benchmark):
+    run_reproduction(benchmark, "EXT6")

@@ -1,0 +1,11 @@
+"""EXT7 — Coherent-sampling counter statistics (extension; ref [7]).
+
+Runs the counter-based generator on manufactured STR pairs and prints
+the counter populations with verdicts.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext7(benchmark):
+    run_reproduction(benchmark, "EXT7")

@@ -1,0 +1,11 @@
+"""EXT8 — Throughput vs entropy tradeoff (extension).
+
+Draws the design curves for the three sampler architectures and checks
+their orderings.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext8(benchmark):
+    run_reproduction(benchmark, "EXT8")

@@ -1,0 +1,10 @@
+"""EXT9 — XOR-of-IROs vs multi-phase STR at equal silicon (extension).
+
+The era's strongest IRO-based design against the STR follow-up design.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext9(benchmark):
+    run_reproduction(benchmark, "EXT9")

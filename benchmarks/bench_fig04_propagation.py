@@ -1,0 +1,11 @@
+"""FIG4 — Token and bubble propagation (Fig. 4).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig4(benchmark):
+    run_reproduction(benchmark, "FIG4")

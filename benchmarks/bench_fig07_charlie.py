@@ -1,0 +1,11 @@
+"""FIG7 — The Charlie diagram (Fig. 7).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig7(benchmark):
+    run_reproduction(benchmark, "FIG7")

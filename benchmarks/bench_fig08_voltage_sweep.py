@@ -1,0 +1,11 @@
+"""FIG8 — Normalized frequency vs supply voltage (Fig. 8).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig8(benchmark):
+    run_reproduction(benchmark, "FIG8")

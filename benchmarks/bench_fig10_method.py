@@ -1,0 +1,11 @@
+"""FIG10 — Divider-based jitter measurement (Fig. 10).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig10(benchmark):
+    run_reproduction(benchmark, "FIG10")

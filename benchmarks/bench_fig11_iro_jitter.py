@@ -1,0 +1,11 @@
+"""FIG11 — IRO period jitter vs stage count (Fig. 11).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig11(benchmark):
+    run_reproduction(benchmark, "FIG11")

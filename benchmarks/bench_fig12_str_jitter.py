@@ -1,0 +1,11 @@
+"""FIG12 — STR period jitter vs stage count (Fig. 12).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_fig12(benchmark):
+    run_reproduction(benchmark, "FIG12")

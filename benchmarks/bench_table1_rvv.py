@@ -1,0 +1,11 @@
+"""TAB1 — Normalized frequency excursions (Table I).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_tab1(benchmark):
+    run_reproduction(benchmark, "TAB1")

@@ -1,0 +1,11 @@
+"""TAB2 — Extra-device dispersion over five boards (Table II).
+
+Regenerates the paper item through the experiment module and prints the
+reproduced rows next to the published reference values.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_tab2(benchmark):
+    run_reproduction(benchmark, "TAB2")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Replay the paper's whole evaluation section (Section V).
+
+Runs every table/figure reproduction in paper order and prints each one
+next to the published reference values.  This is the script to read when
+checking how close the reproduction lands — the same data feeds
+EXPERIMENTS.md.
+
+Takes a few minutes: the jitter figures are real event-driven runs.
+Pass ``--quick`` to shrink the simulated campaign sizes.
+"""
+
+import argparse
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+QUICK_OVERRIDES = {
+    "FIG9": {"period_count": 1024},
+    "FIG10": {"iro_period_count": 4096, "str_period_count": 2048},
+    "FIG11": {"lengths": (3, 9, 25, 60), "period_count": 1024},
+    "FIG12": {"lengths": (4, 16, 48, 96), "period_count": 768},
+    "SEC5A": {"period_count": 96},
+    "EXT1": {"period_count": 1024},
+    "EXT3": {"period_count": 3072},
+    "EXT4": {"fast_bits": 20_000, "exact_bits": 32},
+    "ABL3": {"board_count": 20},
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="shrink campaign sizes")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help=f"run only these experiment ids (known: {', '.join(EXPERIMENT_IDS)})",
+    )
+    args = parser.parse_args()
+
+    ids = [eid.upper() for eid in args.only] if args.only else list(EXPERIMENT_IDS)
+    failures = []
+    for experiment_id in ids:
+        overrides = QUICK_OVERRIDES.get(experiment_id, {}) if args.quick else {}
+        result = run_experiment(experiment_id, **overrides)
+        print()
+        print("=" * 78)
+        print(result.render())
+        if not result.all_checks_pass:
+            failures.append((experiment_id, result.failed_checks))
+
+    print()
+    print("=" * 78)
+    if failures:
+        for experiment_id, failed in failures:
+            print(f"{experiment_id}: FAILED {failed}")
+        raise SystemExit(1)
+    print(f"All {len(ids)} reproductions passed their structural checks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""One-call characterization campaign over a custom ring set.
+
+The adoption-path API: declare the ring configurations you care about,
+run the whole Section V measurement program over a manufactured board
+bank, and get a single serializable report — the numbers a TRNG design
+review actually asks for (frequency, voltage robustness, family
+dispersion, single-period jitter, long-run diffusion, and the implied
+TRNG provisioning at a target quality factor).
+"""
+
+import json
+
+from repro import BoardBank
+from repro.core.campaign import RingSpec, run_campaign
+
+SPECS = [
+    RingSpec("iro", 5),
+    RingSpec("iro", 25),
+    RingSpec("str", 24),
+    RingSpec("str", 96),
+    RingSpec("str", 32, token_count=10),  # a deliberately detuned STR
+]
+
+
+def main() -> None:
+    bank = BoardBank.manufacture(board_count=5, seed=21)
+    report = run_campaign(SPECS, bank=bank, jitter_periods=1536, q_target=0.2, seed=3)
+
+    print(report.render())
+    print()
+    print("Notes:")
+    str96 = report.result_for("STR 96C")
+    iro5 = report.result_for("IRO 5C")
+    print(
+        f"- STR 96C vs IRO 5C: delta F {str96.delta_f:.0%} vs {iro5.delta_f:.0%}, "
+        f"sigma_rel {str96.sigma_rel:.2%} vs {iro5.sigma_rel:.2%} "
+        "(the paper's two headline robustness wins)"
+    )
+    detuned = report.result_for("STR 32C")
+    print(
+        f"- the detuned STR 32C (NT = 10) still locks and keeps sigma_p = "
+        f"{detuned.period_jitter_ps:.1f} ps — the Section V-A window in action"
+    )
+    print(
+        f"- TRNG provisioning uses the diffusion rate: e.g. STR 96C needs "
+        f"T_ref = {str96.trng_reference_period_ps / 1e6:.0f} us for "
+        f"Q = {report.q_target} (entropy bound {str96.trng_entropy_bound:.4f})"
+    )
+
+    path = "campaign.json"
+    with open(path, "w") as handle:
+        handle.write(report.to_json())
+    print(f"\nfull report written to {path} "
+          f"({len(json.loads(report.to_json())['results'])} rings)")
+
+
+if __name__ == "__main__":
+    main()

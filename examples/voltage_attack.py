@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Attack the oscillators through their power supply.
+
+Two scenarios from the security literature the paper builds on:
+
+* **static operating-point shift** ([1]): turn the core voltage knob and
+  watch the oscillation frequency move.  The longer the STR, the less it
+  moves; the IRO moves ~49 % per 0.4 V no matter what.
+* **injected supply ripple** ([2]): superimpose a sinusoidal disturbance
+  and measure how much *deterministic* period modulation it creates.
+  Deterministic jitter looks like entropy to a naive sigma measurement
+  but contributes none — the experiment prints the entropy-accounting
+  error an unwary designer would make.
+"""
+
+import numpy as np
+
+from repro import Board, InverterRingOscillator, SelfTimedRing, SupplySpec
+from repro.trng.attacks import SupplyAttack, measure_deterministic_response
+from repro.trng.elementary import predicted_shannon_entropy, quality_factor
+
+
+def static_attack(board: Board) -> None:
+    print("=== static operating-point attack (voltage sweep) ===")
+    voltages = np.round(np.arange(1.0, 1.41, 0.1), 2)
+    rings = {
+        "IRO 5C": lambda b: InverterRingOscillator.on_board(b, 5),
+        "IRO 80C": lambda b: InverterRingOscillator.on_board(b, 80),
+        "STR 4C": lambda b: SelfTimedRing.on_board(b, 4),
+        "STR 96C": lambda b: SelfTimedRing.on_board(b, 96),
+    }
+    header = "V core   " + "  ".join(f"{name:>9}" for name in rings)
+    print(header)
+    rows = {name: [] for name in rings}
+    for voltage in voltages:
+        cells = []
+        for name, builder in rings.items():
+            ring = builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
+            frequency = ring.predicted_frequency_mhz()
+            rows[name].append(frequency)
+            cells.append(f"{frequency:9.1f}")
+        print(f"{voltage:5.2f}    " + "  ".join(cells))
+    print()
+    for name, freqs in rows.items():
+        excursion = (freqs[-1] - freqs[0]) / freqs[len(freqs) // 2]
+        print(f"{name:8}: attacker's frequency leverage = {excursion:.1%} per 0.4 V")
+    print()
+
+
+def ripple_attack(board: Board) -> None:
+    print("=== injected ripple attack ===")
+    attack = SupplyAttack(delay_amplitude=0.008, period_ps=1.0e5)
+    reference_period = 1.0e8  # 10 kHz sampling
+    for ring in (
+        InverterRingOscillator.on_board(board, 5),
+        SelfTimedRing.on_board(board, 96),
+    ):
+        response = measure_deterministic_response(ring, attack, period_count=2048, seed=3)
+        q_true = quality_factor(
+            response.clean_sigma_ps, response.mean_period_ps, reference_period
+        )
+        q_apparent = quality_factor(
+            response.attacked_sigma_ps, response.mean_period_ps, reference_period
+        )
+        print(
+            f"{ring.name}: sigma {response.clean_sigma_ps:.2f} -> "
+            f"{response.attacked_sigma_ps:.2f} ps under ripple "
+            f"(relative response {response.relative_response:.2f})"
+        )
+        print(
+            f"          entropy bound from TRUE sigma:     "
+            f"{predicted_shannon_entropy(q_true):.4f}"
+        )
+        print(
+            f"          entropy bound from APPARENT sigma: "
+            f"{predicted_shannon_entropy(q_apparent):.4f}   <- overestimated "
+            f"{response.apparent_q_inflation:.1f}x in Q"
+        )
+    print()
+    print(
+        "The STR's response per unit ripple is ~25 % below the IRO's: its\n"
+        "Charlie-penalty delay share barely follows the supply (the same\n"
+        "confinement effect behind Table I).  Either way, only the clean\n"
+        "sigma should enter an entropy budget."
+    )
+
+
+def main() -> None:
+    board = Board()
+    static_attack(board)
+    ripple_attack(board)
+
+
+if __name__ == "__main__":
+    main()

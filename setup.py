@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern toolchains) both work; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

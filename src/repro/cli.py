@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List every reproducible experiment with its title.
+``run <ID> [<ID> ...]``
+    Run experiments by id and print their reports; exits non-zero if any
+    structural check fails.
+``report``
+    Print the paper's STR-vs-IRO comparison on a fresh five-board bank.
+``calibration``
+    Print the fitted device-model constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENT_IDS, get_experiment, run_experiment
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    for experiment_id in EXPERIMENT_IDS:
+        doc = (get_experiment(experiment_id).__module__ or "").rsplit(".", 1)[-1]
+        print(f"{experiment_id:6}  {doc}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    failures = []
+    for experiment_id in args.ids:
+        result = run_experiment(experiment_id)
+        if args.json:
+            print(result.to_json())
+        else:
+            print()
+            print(result.render())
+        if not result.all_checks_pass:
+            failures.append((result.experiment_id, result.failed_checks))
+    if failures:
+        print()
+        for experiment_id, failed in failures:
+            print(f"{experiment_id}: FAILED {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.core.comparison import compare_entropy_sources
+
+    report = compare_entropy_sources(
+        jitter_method="population",
+        jitter_periods=args.periods,
+        seed=args.seed,
+    )
+    print(report.render())
+    print()
+    print(f"STR more robust to voltage:     {report.str_more_robust_to_voltage}")
+    print(f"STR lower device dispersion:    {report.str_lower_dispersion}")
+    print(f"STR jitter length-independent:  {report.str_jitter_length_independent}")
+    return 0
+
+
+def _command_report_md(args: argparse.Namespace) -> int:
+    from repro.reporting.markdown import write_markdown_report
+
+    ids = [eid.upper() for eid in args.ids] if args.ids else list(EXPERIMENT_IDS)
+    results = [run_experiment(eid) for eid in ids]
+    byte_count = write_markdown_report(args.output, results)
+    print(f"wrote {byte_count} bytes to {args.output}")
+    return 0 if all(result.all_checks_pass for result in results) else 1
+
+
+def _command_calibration(_args: argparse.Namespace) -> int:
+    from repro.fpga.calibration import cyclone_iii_calibration, summarize_calibration
+
+    summary = summarize_calibration(cyclone_iii_calibration())
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        print(f"{key.ljust(width)}  {value:.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'STR vs IRO as entropy sources in FPGAs' (DATE 2012)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list reproducible experiments")
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (e.g. TAB1)")
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON results"
+    )
+    run_parser.set_defaults(handler=_command_run)
+
+    report_parser = subparsers.add_parser("report", help="STR-vs-IRO comparison report")
+    report_parser.add_argument("--periods", type=int, default=2048, help="jitter campaign size")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.set_defaults(handler=_command_report)
+
+    calibration_parser = subparsers.add_parser(
+        "calibration", help="print the fitted device constants"
+    )
+    calibration_parser.set_defaults(handler=_command_calibration)
+
+    report_md_parser = subparsers.add_parser(
+        "report-md", help="write a markdown reproduction report"
+    )
+    report_md_parser.add_argument(
+        "--output", default="reproduction_report.md", help="output file path"
+    )
+    report_md_parser.add_argument(
+        "--ids",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="experiment ids to include (default: all)",
+    )
+    report_md_parser.set_defaults(handler=_command_report_md)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

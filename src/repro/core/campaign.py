@@ -1,0 +1,197 @@
+"""Full characterization campaigns over arbitrary ring sets.
+
+:mod:`repro.core.comparison` answers the paper's specific question (one
+IRO vs one STR).  This module is the general tool a downstream user
+reaches for: declare any number of ring configurations, run the whole
+Section V measurement program over a board bank, and get one
+serializable report — frequencies, voltage robustness, extra-device
+dispersion, jitter (single-period and long-run diffusion), and the
+implied TRNG provisioning for each ring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterization import (
+    measure_family_dispersion,
+    measure_period_jitter,
+    sweep_voltage,
+)
+from repro.fpga.board import Board, BoardBank
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+from repro.simulation.noise import SeedLike
+from repro.stats.accumulation import accumulation_profile
+from repro.trng.elementary import predicted_shannon_entropy
+from repro.trng.phasewalk import reference_period_for_q
+
+
+@dataclasses.dataclass(frozen=True)
+class RingSpec:
+    """One ring configuration to characterize."""
+
+    kind: str  # "iro" | "str"
+    stage_count: int
+    token_count: Optional[int] = None  # STR only; None = balanced
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("iro", "str"):
+            raise ValueError(f"kind must be 'iro' or 'str', got {self.kind!r}")
+        if self.stage_count < 3:
+            raise ValueError(f"need at least 3 stages, got {self.stage_count}")
+        if self.kind == "iro" and self.token_count is not None:
+            raise ValueError("token_count only applies to STRs")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind.upper()} {self.stage_count}C"
+
+    def build(self, board: Board):
+        if self.kind == "iro":
+            return InverterRingOscillator.on_board(board, self.stage_count)
+        return SelfTimedRing.on_board(
+            board, self.stage_count, token_count=self.token_count
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RingCampaignResult:
+    """Everything measured for one ring configuration."""
+
+    label: str
+    nominal_frequency_mhz: float
+    delta_f: float
+    linearity_r2: float
+    sigma_rel: float
+    board_frequencies_mhz: List[float]
+    period_jitter_ps: float
+    diffusion_sigma_ps: float
+    trng_reference_period_ps: float
+    trng_entropy_bound: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignReport:
+    """All ring results plus the campaign configuration."""
+
+    results: List[RingCampaignResult]
+    voltages_v: List[float]
+    board_count: int
+    q_target: float
+
+    def result_for(self, label: str) -> RingCampaignResult:
+        for result in self.results:
+            if result.label == label:
+                return result
+        raise KeyError(f"no campaign result for {label!r}")
+
+    def render(self) -> str:
+        header = (
+            "ring",
+            "F [MHz]",
+            "delta F",
+            "sigma_rel",
+            "sigma_p [ps]",
+            "diffusion [ps]",
+            "T_ref(Q) [us]",
+            "H bound",
+        )
+        rows = [header]
+        for result in self.results:
+            rows.append(
+                (
+                    result.label,
+                    f"{result.nominal_frequency_mhz:.1f}",
+                    f"{result.delta_f:.1%}",
+                    f"{result.sigma_rel:.2%}",
+                    f"{result.period_jitter_ps:.2f}",
+                    f"{result.diffusion_sigma_ps:.2f}",
+                    f"{result.trng_reference_period_ps / 1e6:.1f}",
+                    f"{result.trng_entropy_bound:.4f}",
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            for row in rows
+        ]
+        lines.insert(1, "-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        payload = {
+            "voltages_v": self.voltages_v,
+            "board_count": self.board_count,
+            "q_target": self.q_target,
+            "results": [result.to_dict() for result in self.results],
+        }
+        return json.dumps(payload, indent=indent)
+
+
+def run_campaign(
+    specs: Sequence[RingSpec],
+    bank: Optional[BoardBank] = None,
+    voltages_v: Sequence[float] = (1.0, 1.2, 1.4),
+    jitter_periods: int = 2048,
+    q_target: float = 0.2,
+    seed: SeedLike = 0,
+) -> CampaignReport:
+    """Characterize every spec over the bank and assemble the report.
+
+    The TRNG provisioning column uses the measured long-run *diffusion*
+    rate (not the single-period sigma) — the conservative figure an STR
+    designer must use (see docs/theory.md Section 7).
+    """
+    if not specs:
+        raise ValueError("need at least one ring spec")
+    bank = bank if bank is not None else BoardBank.manufacture(board_count=5, seed=0)
+    nominal_board = bank[0]
+
+    results: List[RingCampaignResult] = []
+    for spec in specs:
+        sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
+        dispersion = measure_family_dispersion(bank, spec.build)
+        ring = spec.build(nominal_board)
+        jitter = measure_period_jitter(
+            ring,
+            method="population",
+            period_count=jitter_periods,
+            seed=seed,
+            warmup_periods=256,
+        )
+        periods = ring.simulate(
+            jitter_periods, seed=seed, warmup_periods=256
+        ).trace.periods_ps()
+        diffusion = accumulation_profile(periods).diffusion_sigma_ps
+        reference = reference_period_for_q(
+            ring.predicted_period_ps(), diffusion, q_target
+        )
+        q_reached = q_target  # by construction of the reference period
+        results.append(
+            RingCampaignResult(
+                label=spec.label,
+                nominal_frequency_mhz=ring.predicted_frequency_mhz(),
+                delta_f=float(sweep.excursion()),
+                linearity_r2=float(sweep.linearity()),
+                sigma_rel=float(dispersion.sigma_rel),
+                board_frequencies_mhz=[float(f) for f in dispersion.frequencies_mhz],
+                period_jitter_ps=float(jitter.sigma_period_ps),
+                diffusion_sigma_ps=float(diffusion),
+                trng_reference_period_ps=float(reference),
+                trng_entropy_bound=float(predicted_shannon_entropy(q_reached)),
+            )
+        )
+    return CampaignReport(
+        results=results,
+        voltages_v=[float(v) for v in voltages_v],
+        board_count=len(bank),
+        q_target=q_target,
+    )

@@ -1,0 +1,246 @@
+"""Experiment drivers: the measurement campaigns of Section V.
+
+Three campaigns, each mirroring one subsection of the paper's evaluation:
+
+* :func:`sweep_voltage` — frequency vs core supply (Fig. 8, Table I);
+* :func:`measure_family_dispersion` — the same bitstream on every board
+  of a bank (Table II);
+* :func:`measure_period_jitter` — period jitter through the full
+  measurement chain (Figs. 9, 11, 12), with the divider method of
+  Fig. 10 as the default instrument.
+
+Each driver accepts a *ring builder* — a callable resolving a ring on a
+given board — so the same campaign code runs for IROs, STRs, or anything
+else implementing :class:`~repro.rings.base.RingOscillator`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fpga.board import Board, BoardBank
+from repro.fpga.voltage import NOMINAL_CORE_VOLTAGE, SupplySpec
+from repro.measurement.counters import RippleDivider
+from repro.measurement.jitter import (
+    DividerJitterReading,
+    measure_period_jitter_direct,
+    measure_period_jitter_divider,
+)
+from repro.rings.base import RingOscillator
+from repro.simulation.noise import SeedLike
+from repro.stats.descriptive import (
+    linearity_r_squared,
+    normalized_excursion,
+    normalized_frequencies,
+    relative_standard_deviation,
+)
+
+#: Resolves a ring oscillator on a board.
+RingBuilder = Callable[[Board], RingOscillator]
+
+
+# ----------------------------------------------------------------------
+# voltage sweeps (Fig. 8 / Table I)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class VoltageSweepResult:
+    """Frequency response of one ring to a core-voltage sweep."""
+
+    ring_name: str
+    voltages_v: np.ndarray
+    frequencies_mhz: np.ndarray
+    nominal_voltage_v: float
+
+    @property
+    def nominal_frequency_mhz(self) -> float:
+        """Frequency at (the closest sampled point to) the nominal voltage."""
+        index = int(np.argmin(np.abs(self.voltages_v - self.nominal_voltage_v)))
+        return float(self.frequencies_mhz[index])
+
+    def normalized(self) -> np.ndarray:
+        """``Fn`` series for the Fig. 8 plot."""
+        return normalized_frequencies(self.frequencies_mhz, self.nominal_frequency_mhz)
+
+    def excursion(self) -> float:
+        """Table I metric over the sampled sweep ends."""
+        return normalized_excursion(
+            float(self.frequencies_mhz[np.argmin(self.voltages_v)]),
+            float(self.frequencies_mhz[np.argmax(self.voltages_v)]),
+            self.nominal_frequency_mhz,
+        )
+
+    def linearity(self) -> float:
+        """R^2 of frequency vs voltage (the paper observes ~linear)."""
+        return linearity_r_squared(self.voltages_v, self.frequencies_mhz)
+
+
+def sweep_voltage(
+    board: Board,
+    ring_builder: RingBuilder,
+    voltages_v: Sequence[float],
+    measure: bool = False,
+    period_count: int = 64,
+    seed: SeedLike = 0,
+) -> VoltageSweepResult:
+    """Sweep the core supply and record the ring frequency at each point.
+
+    ``measure=False`` reads the analytical frequency (exact, instant);
+    ``measure=True`` runs the event-driven simulation at each point, as a
+    real campaign would.
+    """
+    if len(voltages_v) < 2:
+        raise ValueError("a sweep needs at least two voltage points")
+    frequencies = []
+    name = None
+    for voltage in voltages_v:
+        ring = ring_builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
+        name = ring.name
+        if measure:
+            frequencies.append(ring.measure_frequency_mhz(period_count=period_count, seed=seed))
+        else:
+            frequencies.append(ring.predicted_frequency_mhz())
+    return VoltageSweepResult(
+        ring_name=name,
+        voltages_v=np.asarray(voltages_v, dtype=float),
+        frequencies_mhz=np.asarray(frequencies, dtype=float),
+        nominal_voltage_v=NOMINAL_CORE_VOLTAGE,
+    )
+
+
+# ----------------------------------------------------------------------
+# extra-device dispersion (Table II)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class FamilyDispersionResult:
+    """Same-bitstream frequencies across a board bank."""
+
+    ring_name: str
+    board_names: Sequence[str]
+    frequencies_mhz: np.ndarray
+
+    @property
+    def mean_frequency_mhz(self) -> float:
+        return float(np.mean(self.frequencies_mhz))
+
+    @property
+    def sigma_rel(self) -> float:
+        """Table II metric."""
+        return relative_standard_deviation(self.frequencies_mhz)
+
+
+def measure_family_dispersion(
+    bank: BoardBank,
+    ring_builder: RingBuilder,
+    measure: bool = False,
+    period_count: int = 64,
+    seed: SeedLike = 0,
+) -> FamilyDispersionResult:
+    """Send the same "bitstream" to every board and compare frequencies."""
+    frequencies = []
+    names = []
+    ring_name = None
+    for board in bank:
+        ring = ring_builder(board)
+        ring_name = ring.name
+        names.append(board.name)
+        if measure:
+            frequencies.append(ring.measure_frequency_mhz(period_count=period_count, seed=seed))
+        else:
+            frequencies.append(ring.predicted_frequency_mhz())
+    return FamilyDispersionResult(
+        ring_name=ring_name,
+        board_names=tuple(names),
+        frequencies_mhz=np.asarray(frequencies, dtype=float),
+    )
+
+
+# ----------------------------------------------------------------------
+# jitter campaigns (Figs. 9, 11, 12)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class JitterMeasurementResult:
+    """Period jitter of one ring through the chosen instrument chain."""
+
+    ring_name: str
+    stage_count: int
+    sigma_period_ps: float
+    mean_period_ps: float
+    method: str
+    divider_reading: Optional[DividerJitterReading] = None
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1e6 / self.mean_period_ps
+
+
+def measure_period_jitter(
+    ring: RingOscillator,
+    method: str = "divider",
+    period_count: int = 8192,
+    seed: SeedLike = 0,
+    divider: Optional[RippleDivider] = None,
+    warmup_periods: int = 64,
+) -> JitterMeasurementResult:
+    """Measure a ring's period jitter.
+
+    Methods:
+
+    * ``"population"`` — std of the simulated period population (no
+      instrument error; ground truth);
+    * ``"direct"`` — the naive scope reading (biased for ps jitter);
+    * ``"divider"`` — the Fig. 10 on-chip divider method (the paper's).
+    """
+    if method not in ("population", "direct", "divider"):
+        raise ValueError(f"unknown method {method!r}")
+    # Process-varied rings settle slowly (weak restoring slopes near the
+    # Charlie bottom); a generous warm-up keeps the start-up transient
+    # out of the jitter statistics.
+    result = ring.simulate(period_count, seed=seed, warmup_periods=warmup_periods)
+    trace = result.trace
+    mean_period = trace.mean_period_ps()
+    divider_reading = None
+    if method == "population":
+        sigma = trace.period_jitter_ps()
+    elif method == "direct":
+        sigma = measure_period_jitter_direct(trace, seed=seed).sigma_period_ps
+    else:
+        divider = divider if divider is not None else RippleDivider()
+        divider_reading = measure_period_jitter_divider(trace, divider=divider, seed=seed)
+        sigma = divider_reading.sigma_period_ps
+    return JitterMeasurementResult(
+        ring_name=ring.name,
+        stage_count=ring.stage_count,
+        sigma_period_ps=sigma,
+        mean_period_ps=mean_period,
+        method=method,
+        divider_reading=divider_reading,
+    )
+
+
+def jitter_versus_length(
+    board: Board,
+    lengths: Sequence[int],
+    ring_family: str,
+    method: str = "population",
+    period_count: int = 4096,
+    seed: SeedLike = 0,
+) -> List[JitterMeasurementResult]:
+    """Period jitter as a function of ring length (Figs. 11 and 12)."""
+    from repro.rings.iro import InverterRingOscillator
+    from repro.rings.str_ring import SelfTimedRing
+
+    if ring_family not in ("iro", "str"):
+        raise ValueError(f"ring_family must be 'iro' or 'str', got {ring_family!r}")
+    results = []
+    for length in lengths:
+        if ring_family == "iro":
+            ring: RingOscillator = InverterRingOscillator.on_board(board, length)
+        else:
+            ring = SelfTimedRing.on_board(board, length)
+        results.append(
+            measure_period_jitter(ring, method=method, period_count=period_count, seed=seed)
+        )
+    return results

@@ -1,0 +1,153 @@
+"""Analytical jitter model of the paper's Section IV (Eqs. 4-7).
+
+Two jitter components are modelled for both oscillator families:
+
+* **Local Gaussian jitter** — every LUT crossing adds independent
+  ``N(0, sigma_g^2)`` noise.
+
+  - IRO: one event crosses ``2k`` stages per period, so the period
+    accumulates ``sigma_period = sqrt(2 k) * sigma_g``  (Eq. 4).
+  - STR: the period is the spacing of *successive tokens* observed at one
+    stage; each arrival carries one fresh stage-noise sample, the Charlie
+    effect keeps re-centring the spacing, so
+    ``sigma_period ~= sqrt(2) * sigma_g``  (Eq. 5) — independent of the
+    ring length.
+
+* **Global deterministic jitter** — a common delay modulation.  In the
+  IRO it accumulates linearly over the ``2k`` crossings of one period; in
+  the STR it shifts all in-flight events alike and mostly cancels out of
+  the inter-token spacing.
+
+The module also implements the divider-based measurement method of
+Fig. 10 / Eq. 6 used to recover picosecond-level jitter that a real
+oscilloscope cannot resolve directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_SQRT2 = math.sqrt(2.0)
+
+
+# ----------------------------------------------------------------------
+# local Gaussian jitter (Eqs. 4, 5, 7)
+# ----------------------------------------------------------------------
+def iro_period_jitter_ps(stage_count: int, gate_sigma_ps: float) -> float:
+    """Eq. 4: ``sigma_period = sqrt(2 k) * sigma_g`` for a k-stage IRO."""
+    if stage_count < 1:
+        raise ValueError(f"stage count must be positive, got {stage_count}")
+    if gate_sigma_ps < 0.0:
+        raise ValueError(f"gate sigma must be non-negative, got {gate_sigma_ps}")
+    return math.sqrt(2.0 * stage_count) * gate_sigma_ps
+
+
+def str_period_jitter_ps(gate_sigma_ps: float) -> float:
+    """Eq. 5: ``sigma_period ~= sqrt(2) * sigma_g`` regardless of length."""
+    if gate_sigma_ps < 0.0:
+        raise ValueError(f"gate sigma must be non-negative, got {gate_sigma_ps}")
+    return _SQRT2 * gate_sigma_ps
+
+
+def gate_jitter_from_iro_period_jitter(period_jitter_ps: float, stage_count: int) -> float:
+    """Eq. 7: invert Eq. 4 to estimate the single-LUT jitter ``sigma_g``."""
+    if stage_count < 1:
+        raise ValueError(f"stage count must be positive, got {stage_count}")
+    if period_jitter_ps < 0.0:
+        raise ValueError(f"period jitter must be non-negative, got {period_jitter_ps}")
+    return period_jitter_ps / math.sqrt(2.0 * stage_count)
+
+
+def accumulated_jitter_ps(period_jitter_ps: float, period_count: int) -> float:
+    """Jitter of the sum of ``period_count`` independent periods.
+
+    Random jitter accumulates with a square-root law, which is the basis
+    of the measurement method: after ``N`` periods the accumulated jitter
+    is ``sqrt(N) * sigma_p`` while scope noise stays constant.
+    """
+    if period_count < 1:
+        raise ValueError(f"period count must be positive, got {period_count}")
+    if period_jitter_ps < 0.0:
+        raise ValueError(f"period jitter must be non-negative, got {period_jitter_ps}")
+    return math.sqrt(period_count) * period_jitter_ps
+
+
+# ----------------------------------------------------------------------
+# divider measurement method (Fig. 10 / Eq. 6)
+# ----------------------------------------------------------------------
+def divided_cycle_to_cycle_jitter(period_jitter_ps: float, periods_per_measurement: int) -> float:
+    """Expected cycle-to-cycle jitter of the divided signal ``osc_mes``.
+
+    One ``osc_mes`` period sums ``N`` oscillator periods, so its variance
+    is ``N * sigma_p^2``; the difference of two successive ``osc_mes``
+    periods doubles it: ``sigma_cc = sqrt(2 N) * sigma_p``.
+    """
+    if periods_per_measurement < 1:
+        raise ValueError(f"periods per measurement must be positive, got {periods_per_measurement}")
+    return math.sqrt(2.0 * periods_per_measurement) * period_jitter_ps
+
+
+def recover_period_jitter_from_divided(
+    cycle_to_cycle_jitter_ps: float, periods_per_measurement: int
+) -> float:
+    """Eq. 6: recover ``sigma_p`` from the divided-signal jitter.
+
+    With ``N = 2 n`` periods accumulated per ``osc_mes`` period this is
+    exactly the paper's ``sigma_p = sigma_cc_mes / (2 sqrt(n))``.
+    """
+    if periods_per_measurement < 1:
+        raise ValueError(f"periods per measurement must be positive, got {periods_per_measurement}")
+    if cycle_to_cycle_jitter_ps < 0.0:
+        raise ValueError(f"jitter must be non-negative, got {cycle_to_cycle_jitter_ps}")
+    return cycle_to_cycle_jitter_ps / math.sqrt(2.0 * periods_per_measurement)
+
+
+# ----------------------------------------------------------------------
+# global deterministic jitter (Section IV-B)
+# ----------------------------------------------------------------------
+def iro_deterministic_period_shift_ps(
+    stage_count: int, per_stage_deterministic_ps: float
+) -> float:
+    """Linear accumulation of a common per-stage delay shift over one period.
+
+    ``D_det = sum over the 2k crossings`` — the IRO exposes the full
+    modulation in its period, which is what the attacks of [1], [2]
+    exploit.
+    """
+    if stage_count < 1:
+        raise ValueError(f"stage count must be positive, got {stage_count}")
+    return 2.0 * stage_count * per_stage_deterministic_ps
+
+
+def str_deterministic_period_shift_ps(
+    period_ps: float,
+    modulation_factors: np.ndarray,
+) -> np.ndarray:
+    """First-order STR period shift under a slowly varying modulation.
+
+    The STR period at time ``t`` is the spacing between two successive
+    token arrivals; a global modulation ``m(t)`` of all stage delays
+    shifts both arrivals almost alike, leaving only the *increment* of
+    the modulation over one period::
+
+        delta T(t) ~= T * (m(t) - m(t - T)) ~= T^2 * m'(t)
+
+    Given samples of ``m`` at successive period boundaries this returns
+    the per-period shifts, a quantity that is ``O(T * dm)`` instead of
+    the IRO's ``O(T * m)`` — the attenuation the paper claims.
+    """
+    factors = np.asarray(modulation_factors, dtype=float)
+    if factors.size < 2:
+        raise ValueError("need at least two modulation samples")
+    return period_ps * np.diff(factors)
+
+
+def deterministic_attenuation_ratio(
+    iro_shift_ps: float, str_shift_ps: float
+) -> float:
+    """How much smaller the STR's deterministic term is than the IRO's."""
+    if str_shift_ps == 0.0:
+        return math.inf
+    return abs(iro_shift_ps) / abs(str_shift_ps)

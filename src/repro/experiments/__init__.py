@@ -1,0 +1,30 @@
+"""Experiment modules: one per table/figure of the paper (plus extensions).
+
+Every module exposes ``run(...) -> ExperimentResult`` with fast,
+deterministic defaults.  The benchmark harness under ``benchmarks/``
+calls these and prints the same rows the paper reports;
+``EXPERIMENTS.md`` records paper-vs-measured for each.
+
+Index (see DESIGN.md Section 4 for the full mapping):
+
+========  ==========================================================
+FIG4      token/bubble propagation demonstration
+FIG5      burst vs evenly-spaced oscillation modes
+FIG7      the Charlie diagram
+FIG8      normalized frequency vs supply voltage
+TAB1      normalized frequency excursions (robustness to voltage)
+TAB2      extra-device frequency dispersion over five boards
+FIG9      period jitter histograms and their Gaussianity
+FIG10     the divider-based jitter measurement method
+FIG11     IRO period jitter vs number of stages (sqrt law)
+FIG12     STR period jitter vs number of stages (constant)
+SEC5A     evenly-spaced locking across lengths and token counts
+EXT1      TRNG robustness under a supply-ripple attack
+EXT2      coherent-sampling feasibility across the board family
+========  ==========================================================
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENT_IDS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENT_IDS", "get_experiment", "run_experiment"]

@@ -1,0 +1,107 @@
+"""ABL3 — ablating the two process-variation layers (Table II ablation).
+
+Table II's structure needs *both* statistical layers of the process
+model:
+
+* with only the **local** (per-LUT) layer, dispersion keeps falling as
+  ``1/sqrt(L)`` — the 96-stage STR would be implausibly perfect and the
+  IRO rows would extrapolate to zero;
+* with only the **global** (per-device) layer, every ring on a board
+  shifts alike — sigma_rel would be identical for all rings and the
+  IRO3 -> IRO5 improvement would vanish;
+* with both, short rings are local-dominated and the long STR is
+  global-limited, which is exactly the paper's pattern.
+
+Measured on a large bank so the layer signatures are statistically
+unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.characterization import measure_family_dispersion
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import BoardBank
+from repro.fpga.calibration import CalibratedTiming, cyclone_iii_calibration
+from repro.fpga.process import ProcessVariation
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+
+RINGS = (("iro", 3), ("iro", 5), ("str", 96), ("str", 384))
+
+
+def _bank_with_process(process: ProcessVariation, board_count: int, seed: int) -> BoardBank:
+    reference = cyclone_iii_calibration()
+    calibration = CalibratedTiming(
+        constants=reference.constants,
+        confinement=reference.confinement,
+        process=process,
+    )
+    return BoardBank.manufacture(board_count=board_count, seed=seed, calibration=calibration)
+
+
+def run(
+    board_count: int = 40,
+    seed: int = 59,
+) -> ExperimentResult:
+    """Measure sigma_rel per ring under each process-layer ablation."""
+    reference = cyclone_iii_calibration().process
+    variants = {
+        "both layers": reference,
+        "local only": ProcessVariation(0.0, reference.local_sigma_rel),
+        "global only": ProcessVariation(reference.global_sigma_rel, 0.0),
+    }
+    sigma: Dict[str, Dict[str, float]] = {}
+    rows: List[Tuple] = []
+    for variant_name, process in variants.items():
+        bank = _bank_with_process(process, board_count, seed)
+        sigma[variant_name] = {}
+        for kind, length in RINGS:
+            if kind == "iro":
+                builder = lambda b, L=length: InverterRingOscillator.on_board(b, L)
+            else:
+                builder = lambda b, L=length: SelfTimedRing.on_board(b, L)
+            label = f"{kind.upper()} {length}C"
+            result = measure_family_dispersion(bank, builder)
+            sigma[variant_name][label] = result.sigma_rel
+        rows.append(
+            (
+                variant_name,
+                *(f"{sigma[variant_name][f'{k.upper()} {n}C']:.3%}" for k, n in RINGS),
+            )
+        )
+
+    both = sigma["both layers"]
+    local = sigma["local only"]
+    global_ = sigma["global only"]
+    return ExperimentResult(
+        experiment_id="ABL3",
+        title="Ablation: process-variation layers vs Table II structure",
+        columns=("process model", "IRO 3C", "IRO 5C", "STR 96C", "STR 384C"),
+        rows=rows,
+        paper_reference={
+            "table_ii": "IRO 3C 0.79%, IRO 5C 0.62%, STR 96C 0.15%",
+        },
+        checks={
+            # Local mismatch alone keeps averaging out: no dispersion
+            # floor, sigma ~ 1/sqrt(L) all the way down.
+            "local_only_has_no_floor": local["STR 384C"] < 0.65 * local["STR 96C"],
+            # The global layer is that floor: with both layers the 4x
+            # longer ring barely improves any more.
+            "global_floor_limits_long_rings": both["STR 384C"] > 0.75 * global_["STR 96C"],
+            "global_only_flattens_ring_dependence": abs(
+                global_["IRO 3C"] - global_["STR 96C"]
+            )
+            < 0.1 * both["IRO 3C"],
+            "both_layers_reproduce_ordering": both["STR 96C"]
+            < both["IRO 5C"]
+            < both["IRO 3C"],
+        },
+        notes=(
+            f"{board_count} manufactured boards per variant; reference "
+            f"sigmas: global {reference.global_sigma_rel:.2%}, local "
+            f"{reference.local_sigma_rel:.2%} (fitted from the two IRO "
+            "rows of Table II)."
+        ),
+    )

@@ -1,0 +1,128 @@
+"""ABL4 — drafting-effect sweep: mapping the burst boundary (ablation).
+
+The paper neglects the drafting effect for FPGAs (Section II-D2) after
+noting it is what promotes the burst mode in ASICs [3].  This ablation
+quantifies the claim's safety margin: sweeping the drafting amplitude
+against two Charlie magnitudes and classifying the steady regime maps
+the evenly-spaced/burst boundary.
+
+Expected structure:
+
+* with no drafting the ring always locks evenly-spaced (the paper's
+  FPGA operating point, far from the boundary);
+* bursts appear once the drafting reward for clustering outweighs the
+  Charlie repulsion — at a threshold amplitude that *grows with the
+  Charlie magnitude* (Winstanley's competition, reproduced).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.charlie import CharlieDiagram, CharlieParameters, DraftingEffect
+from repro.experiments.base import ExperimentResult
+from repro.rings.modes import OscillationMode, classify_trace
+from repro.rings.str_ring import SelfTimedRing
+from repro.rings.tokens import cluster_tokens
+
+#: Drafting amplitudes swept (ps of delay reduction at zero elapsed time).
+DEFAULT_AMPLITUDES: Tuple[float, ...] = (0.0, 20.0, 45.0, 90.0, 180.0)
+#: Charlie magnitudes contrasted (weak vs strong regulation).
+DEFAULT_CHARLIES: Tuple[float, ...] = (30.0, 120.0)
+
+
+def _classify(
+    charlie_ps: float,
+    drafting_amplitude_ps: float,
+    stage_count: int,
+    token_count: int,
+    static_delay_ps: float,
+    periods: int,
+    seed: int,
+) -> OscillationMode:
+    diagram = CharlieDiagram(
+        CharlieParameters.symmetric(static_delay_ps, charlie_ps),
+        drafting=DraftingEffect(
+            amplitude_ps=drafting_amplitude_ps, time_constant_ps=400.0
+        )
+        if drafting_amplitude_ps > 0.0
+        else DraftingEffect(),
+    )
+    ring = SelfTimedRing(
+        [diagram] * stage_count,
+        token_count,
+        jitter_sigmas_ps=0.5,
+        initial_state=cluster_tokens(stage_count, token_count),
+    )
+    result = ring.simulate(periods, seed=seed, warmup_periods=64)
+    return classify_trace(result.trace).mode
+
+
+def run(
+    stage_count: int = 12,
+    token_count: int = 4,
+    amplitudes: Sequence[float] = DEFAULT_AMPLITUDES,
+    charlie_magnitudes: Sequence[float] = DEFAULT_CHARLIES,
+    static_delay_ps: float = 250.0,
+    periods: int = 192,
+    seed: int = 71,
+) -> ExperimentResult:
+    """Sweep drafting amplitude against Charlie magnitude."""
+    rows: List[Tuple] = []
+    modes: Dict[Tuple[float, float], OscillationMode] = {}
+    for charlie in charlie_magnitudes:
+        for amplitude in amplitudes:
+            mode = _classify(
+                charlie,
+                amplitude,
+                stage_count,
+                token_count,
+                static_delay_ps,
+                periods,
+                seed,
+            )
+            modes[(charlie, amplitude)] = mode
+            rows.append((charlie, amplitude, mode.value))
+
+    def burst_threshold(charlie: float) -> Optional[float]:
+        for amplitude in sorted(amplitudes):
+            if modes[(charlie, amplitude)] is OscillationMode.BURST:
+                return amplitude
+        return None
+
+    weak, strong = min(charlie_magnitudes), max(charlie_magnitudes)
+    weak_threshold = burst_threshold(weak)
+    strong_threshold = burst_threshold(strong)
+    return ExperimentResult(
+        experiment_id="ABL4",
+        title="Ablation: drafting amplitude vs the burst-mode boundary",
+        columns=("Charlie magnitude [ps]", "drafting amplitude [ps]", "steady mode"),
+        rows=rows,
+        paper_reference={
+            "section_iid2": "the drafting effect ... is much lower in FPGAs; "
+            "therefore we propose to neglect the drafting effect",
+            "winstanley": "drafting promotes bursts, the Charlie effect "
+            "promotes even spacing [3]",
+        },
+        checks={
+            "no_drafting_always_locks": all(
+                modes[(charlie, 0.0)] is OscillationMode.EVENLY_SPACED
+                for charlie in charlie_magnitudes
+            ),
+            "strong_drafting_bursts": modes[(weak, max(amplitudes))]
+            is OscillationMode.BURST,
+            "charlie_raises_burst_threshold": (
+                weak_threshold is not None
+                and (strong_threshold is None or strong_threshold > weak_threshold)
+            ),
+        },
+        notes=(
+            f"L = {stage_count}, NT = {token_count}, clustered start.  "
+            f"Burst thresholds: Dcharlie = {weak} ps -> "
+            f"{weak_threshold} ps of drafting; Dcharlie = {strong} ps -> "
+            f"{strong_threshold if strong_threshold is not None else 'none in range'}.  "
+            "The FPGA operating point (no measurable drafting) is far "
+            "inside the evenly-spaced zone, supporting the paper's "
+            "decision to neglect the effect."
+        ),
+    )

@@ -1,0 +1,115 @@
+"""ABL5 — placement-quality ablation (why the paper places by hand).
+
+"Logic cells were placed manually (if possible in the same Altera LAB)
+in order to reduce the interconnection delays."  This ablation measures
+what that buys: the same 80-stage IRO placed three ways on a LAB grid —
+
+* ``compact`` — the paper's hand placement: adjacent LABs, minimal
+  wirelength;
+* ``row`` — a single LAB row: longer straight-line hops;
+* ``scatter`` — LABs picked at random over the grid: what an
+  unconstrained automatic placement can degenerate to.
+
+With distance-dependent routing, scattering slows the ring by tens of
+percent and (since the per-LUT jitter is unchanged while the period
+grows) *dilutes* the relative jitter — both directly measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.fpga.floorplan import (
+    LabGrid,
+    PlacementStrategy,
+    place_on_grid,
+    routed_stage_delays,
+)
+from repro.rings.iro import InverterRingOscillator
+
+
+def run(
+    stage_count: int = 17,
+    grid_columns: int = 8,
+    grid_rows: int = 8,
+    per_hop_distance_ps: float = 120.0,
+    period_count: int = 1024,
+    seed: int = 73,
+) -> ExperimentResult:
+    """Compare the three placement strategies on one IRO.
+
+    A two-LAB ring (17 stages) makes routing a large delay share, so the
+    placement quality shows as a decisive frequency difference; on very
+    long rings the same absolute penalty dilutes into the LUT delay sum.
+    """
+    grid = LabGrid(columns=grid_columns, rows=grid_rows)
+    rows: List[Tuple] = []
+    metrics: Dict[str, Dict[str, float]] = {}
+    for strategy in (
+        PlacementStrategy.COMPACT,
+        PlacementStrategy.ROW,
+        PlacementStrategy.SCATTER,
+    ):
+        placement = place_on_grid(stage_count, grid, strategy=strategy, seed=seed)
+        delays = routed_stage_delays(placement, per_hop_distance_ps=per_hop_distance_ps)
+        ring = InverterRingOscillator(
+            delays, jitter_sigmas_ps=2.0, name=f"IRO {strategy.value}"
+        )
+        result = ring.simulate(period_count, seed=seed)
+        frequency = result.trace.mean_frequency_mhz()
+        sigma = result.trace.period_jitter_ps()
+        metrics[strategy.value] = {
+            "wirelength": float(placement.total_wirelength()),
+            "frequency": frequency,
+            "sigma": sigma,
+            "relative_jitter": sigma / result.trace.mean_period_ps(),
+        }
+        rows.append(
+            (
+                strategy.value,
+                placement.lab_count,
+                placement.total_wirelength(),
+                frequency,
+                sigma,
+                f"{sigma / result.trace.mean_period_ps():.2e}",
+            )
+        )
+
+    compact = metrics["compact"]
+    scatter = metrics["scatter"]
+    return ExperimentResult(
+        experiment_id="ABL5",
+        title="Ablation: placement strategy vs frequency and jitter",
+        columns=(
+            "strategy",
+            "LABs",
+            "wirelength",
+            "F [MHz]",
+            "sigma_p [ps]",
+            "sigma_p / T",
+        ),
+        rows=rows,
+        paper_reference={
+            "method": "logic cells were placed manually (if possible in the "
+            "same Altera LAB) in order to reduce the interconnection delays",
+        },
+        checks={
+            "compact_has_minimal_wirelength": compact["wirelength"]
+            == min(m["wirelength"] for m in metrics.values()),
+            "scatter_slows_the_ring": scatter["frequency"] < 0.9 * compact["frequency"],
+            "absolute_jitter_unchanged": abs(scatter["sigma"] - compact["sigma"])
+            < 0.2 * compact["sigma"],
+            "scatter_dilutes_relative_jitter": scatter["relative_jitter"]
+            < compact["relative_jitter"],
+        },
+        notes=(
+            "Absolute period jitter depends only on the LUT count (Eq. 4), "
+            "so bad placement does not add randomness — it only slows the "
+            "ring and dilutes sigma_p/T, i.e. *less* entropy per unit "
+            "time.  Hand placement is an entropy-rate optimization, not "
+            "just a frequency one."
+        ),
+    )

@@ -1,0 +1,82 @@
+"""EXT2 — coherent-sampling feasibility across the family (extension).
+
+The paper's final argument: STR robustness to process variability "can be
+successfully used ... namely in TRNGs based on the coherent sampling [7],
+where the designer needs to guarantee that the ring oscillator
+frequencies will remain in a required interval for all devices of the
+same family."
+
+This extension quantifies that: a coherent-sampling TRNG needs its two
+rings detuned by less than a capture band.  We manufacture many board
+pairs, build the generator once from IRO pairs and once from STR pairs
+*with one ring per board* (the worst case: the two halves of the design
+land on different devices), and count how often the pair still falls
+inside the band.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import BoardBank
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+from repro.trng.coherent import CoherentSamplingTrng
+
+
+def run(
+    bank: Optional[BoardBank] = None,
+    board_count: int = 12,
+    capture_band: float = 0.01,
+    seed: int = 37,
+) -> ExperimentResult:
+    """Count capture-band survivors among cross-device ring pairs."""
+    bank = bank if bank is not None else BoardBank.manufacture(board_count=board_count, seed=seed)
+    rows: List[Tuple] = []
+    in_band_fraction = {}
+    worst_detuning = {}
+    for kind, builder in (
+        ("IRO 5C", lambda b: InverterRingOscillator.on_board(b, 5)),
+        ("STR 96C", lambda b: SelfTimedRing.on_board(b, 96)),
+    ):
+        rings = [builder(board) for board in bank]
+        pair_count = 0
+        captured = 0
+        max_detuning = 0.0
+        for ring_a, ring_b in itertools.combinations(rings, 2):
+            trng = CoherentSamplingTrng(ring_a, ring_b, max_relative_detuning=capture_band)
+            point = trng.design_point()
+            pair_count += 1
+            max_detuning = max(max_detuning, point.relative_detuning)
+            if point.is_within_capture_band:
+                captured += 1
+        fraction = captured / pair_count
+        in_band_fraction[kind] = fraction
+        worst_detuning[kind] = max_detuning
+        rows.append((kind, pair_count, f"{fraction:.0%}", f"{max_detuning:.3%}"))
+
+    return ExperimentResult(
+        experiment_id="EXT2",
+        title="Coherent-sampling capture band across the device family (extension)",
+        columns=("ring family", "cross-device pairs", "within band", "worst detuning"),
+        rows=rows,
+        paper_reference={
+            "claim": (
+                "STR frequency stability across devices enables "
+                "coherent-sampling TRNG designs"
+            ),
+        },
+        checks={
+            "str_always_in_band": in_band_fraction["STR 96C"] > 0.95,
+            "iro_frequently_out_of_band": in_band_fraction["IRO 5C"] < 0.8,
+            "str_detuning_much_smaller": worst_detuning["STR 96C"]
+            < 0.5 * worst_detuning["IRO 5C"],
+        },
+        notes=(
+            f"Capture band {capture_band:.1%}; detuning computed between "
+            "nominal-corner frequencies of the same placement on two "
+            "different manufactured devices."
+        ),
+    )

@@ -1,0 +1,133 @@
+"""EXT9 — the XOR-of-IROs baseline vs the multi-phase STR (extension).
+
+The paper positions the STR against "the most widely used solution" —
+IRO-based TRNGs.  The strongest IRO-side design of the era is the
+Sunar-style XOR of many small rings.  This experiment pits the two
+silicon-multiplication strategies against each other at an **equal LUT
+budget** (~96 LUTs):
+
+* 19 x IRO 5C, sampled together and XOR-ed (95 LUTs);
+* one multi-phase STR 63C (63 LUTs, all stages tapped);
+* a single elementary IRO 5C as the floor.
+
+Both aggregated designs pass the battery at a reference period where
+the single ring is still blatantly patterned; the comparison table
+records the bias suppression and the entropy bounds under each design's
+own assumptions (independence for the XOR bank; uniform comb for the
+multi-phase ring).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import Board
+from repro.rings.str_ring import SelfTimedRing
+from repro.stats.entropy import bias, markov_entropy_per_bit
+from repro.stats.randomness import run_battery
+from repro.trng.multiphase import MultiphaseModel, measure_diffusion_sigma_ps
+from repro.trng.phasewalk import PhaseWalkTrng
+from repro.trng.xored_rings import XoredRingTrng
+
+
+def run(
+    board: Optional[Board] = None,
+    reference_period_ps: float = 900_000.0,
+    ring_count: int = 19,
+    iro_stages: int = 5,
+    multiphase_stages: int = 63,
+    multiphase_tokens: int = 20,
+    bit_count: int = 30_000,
+    seed: int = 83,
+) -> ExperimentResult:
+    """Compare the three designs at one (deliberately fast) sampling rate.
+
+    The default rate is set so the multi-phase sampler's comb wander per
+    sample comfortably exceeds one comb tick (Q ~ 0.5): right at Q ~ 0.25
+    the parity of the tick count retains marginal serial correlation —
+    the multi-phase analogue of under-provisioning Q in an elementary
+    sampler.
+    """
+    board = board if board is not None else Board()
+
+    # Floor: one elementary IRO at this fast reference period.
+    from repro.rings.iro import InverterRingOscillator
+
+    single_ring = InverterRingOscillator.on_board(board, iro_stages)
+    single = PhaseWalkTrng.from_ring(single_ring, reference_period_ps)
+    single_bits = single.generate(bit_count, seed=seed)
+
+    # Sunar-style bank at ~96 LUTs.
+    bank = XoredRingTrng.on_board(
+        board, iro_stages, ring_count, reference_period_ps
+    )
+    bank_bits = bank.generate(bit_count, seed=seed + 1)
+    bank_point = bank.design_point()
+
+    # Multi-phase STR at 63 LUTs.
+    str_ring = SelfTimedRing.on_board(
+        board, multiphase_stages, token_count=multiphase_tokens
+    )
+    diffusion = measure_diffusion_sigma_ps(str_ring, period_count=2048, seed=seed)
+    multiphase = MultiphaseModel.from_ring(
+        str_ring, reference_period_ps, diffusion_sigma_ps=diffusion
+    )
+    multiphase_bits = multiphase.generate(bit_count, seed=seed + 2)
+
+    rows: List[Tuple] = []
+    verdicts = {}
+    for label, bits, luts, entropy_note in (
+        (f"1 x IRO {iro_stages}C", single_bits, iro_stages,
+         f"per-ring H = {bank_point.per_ring_entropy:.3f}"),
+        (f"{ring_count} x IRO {iro_stages}C XOR", bank_bits, ring_count * iro_stages,
+         f"XOR bias bound = {bank_point.xor_bias_bound:.2e}"),
+        (f"multi-phase STR {multiphase_stages}C", multiphase_bits, multiphase_stages,
+         f"Q_virtual = {multiphase.design_point().q_factor:.2f}"),
+    ):
+        battery = run_battery(bits)
+        verdicts[label] = battery.all_passed
+        rows.append(
+            (
+                label,
+                luts,
+                f"{bias(bits):+.4f}",
+                f"{markov_entropy_per_bit(bits):.4f}",
+                "PASS" if battery.all_passed else "FAIL",
+                entropy_note,
+            )
+        )
+
+    single_label = f"1 x IRO {iro_stages}C"
+    xor_label = f"{ring_count} x IRO {iro_stages}C XOR"
+    multi_label = f"multi-phase STR {multiphase_stages}C"
+    return ExperimentResult(
+        experiment_id="EXT9",
+        title="Equal-silicon shootout: XOR-of-IROs vs multi-phase STR (extension)",
+        columns=("design", "LUTs", "bias", "Markov H", "battery", "model note"),
+        rows=rows,
+        paper_reference={
+            "intro": "IROs are the most widely used solution ... due to their "
+            "low area",
+            "lineage": "Sunar-style XOR banks are the era's strong IRO design "
+            "(the [1] lineage)",
+        },
+        checks={
+            "single_ring_fails_at_this_rate": not verdicts[single_label],
+            "xor_bank_passes": verdicts[xor_label],
+            "multiphase_passes": verdicts[multi_label],
+            "aggregation_suppresses_bias": abs(float(np.mean(bank_bits)) - 0.5)
+            < abs(float(np.mean(single_bits)) - 0.5) + 0.02,
+        },
+        notes=(
+            f"All designs sampled every {reference_period_ps / 1e3:.0f} ns.  "
+            "Both aggregation strategies rescue a rate where one ring is "
+            "blatantly patterned; the XOR bank leans on ring independence "
+            "(optimistic on real silicon — coupling/locking between "
+            "identical rings is the known failure), the multi-phase STR on "
+            "one ring's per-stage jitter (Eq. 5) — the paper's robustness "
+            "results favour the latter's assumptions."
+        ),
+    )

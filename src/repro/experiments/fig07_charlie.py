@@ -1,0 +1,70 @@
+"""FIG7 — the Charlie diagram (paper Fig. 7, Eq. 3).
+
+Sweeps the separation time and records the stage delay, verifying the
+three geometric properties the paper reads off the figure:
+
+* the minimum sits at ``s = 0`` (symmetric stage) with value
+  ``Ds + Dcharlie``;
+* the curve approaches the asymptotes ``Ds +/- s`` for large ``|s|``;
+* the derivative vanishes at the bottom — the smoothing that makes
+  balanced STRs robust.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.charlie import CharlieDiagram, CharlieParameters
+from repro.experiments.base import ExperimentResult
+from repro.fpga.calibration import cyclone_iii_calibration
+
+
+def run(
+    stage_count: int = 96,
+    separation_span_ps: float = 600.0,
+    sample_count: int = 25,
+) -> ExperimentResult:
+    """Sweep the calibrated Charlie diagram of an STR stage."""
+    calibration = cyclone_iii_calibration()
+    static_delay = (
+        calibration.constants.lut_delay_ps + calibration.constants.intra_lab_route_ps
+    )
+    charlie = calibration.confinement.penalty_ps(stage_count)
+    diagram = CharlieDiagram(CharlieParameters.symmetric(static_delay, charlie))
+
+    separations = np.linspace(-separation_span_ps, separation_span_ps, sample_count)
+    delays = diagram.delay_array_ps(separations)
+    rows: List[Tuple] = [
+        (float(s), float(d), diagram.slope(float(s))) for s, d in zip(separations, delays)
+    ]
+
+    minimum_index = int(np.argmin(delays))
+    asymptote_gap_far = diagram.asymptote_gap_ps(separation_span_ps)
+    asymptote_gap_zero = diagram.asymptote_gap_ps(0.0)
+    return ExperimentResult(
+        experiment_id="FIG7",
+        title="Example of a Charlie diagram (Fig. 7)",
+        columns=("separation s [ps]", "charlie(s) [ps]", "d charlie / d s"),
+        rows=rows,
+        paper_reference={
+            "equation": "charlie(s) = Ds + sqrt(Dcharlie^2 + s^2)",
+            "shape": "parabola-like bottom inscribed in the lines Ds - s and Ds + s",
+        },
+        checks={
+            "minimum_at_zero_separation": abs(float(separations[minimum_index])) < 1e-9
+            or minimum_index == sample_count // 2,
+            "minimum_value_is_static_plus_charlie": abs(
+                float(delays[minimum_index]) - (static_delay + charlie)
+            )
+            < 1e-9,
+            "flat_at_bottom": abs(diagram.slope(0.0)) < 1e-12,
+            "approaches_asymptotes": asymptote_gap_far < 0.5 * asymptote_gap_zero,
+            "slope_bounded_by_one": all(abs(row[2]) < 1.0 for row in rows),
+        },
+        notes=(
+            f"Calibrated stage for a {stage_count}-stage balanced STR: "
+            f"Ds = {static_delay:.1f} ps, Dcharlie = {charlie:.1f} ps."
+        ),
+    )

@@ -1,0 +1,88 @@
+"""FIG9 — period jitter histograms (paper Fig. 9).
+
+The paper shows scope histograms for a 96-stage STR and a 5-stage IRO at
+similar frequencies (~300 MHz) and concludes both are Gaussian — a known
+result for IROs, the relevant *new* result for STRs.  We simulate both
+rings, build the same histograms through the virtual scope chain, and run
+a normality test on the underlying populations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import Board
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+from repro.stats.normality import check_normality
+
+
+def run(
+    board: Optional[Board] = None,
+    period_count: int = 4096,
+    seed: int = 11,
+    iro_stages: int = 5,
+    str_stages: int = 96,
+) -> ExperimentResult:
+    """Reproduce the Fig. 9 histograms and their Gaussianity verdicts."""
+    board = board if board is not None else Board()
+    str_ring = SelfTimedRing.on_board(board, str_stages)
+    iro_ring = InverterRingOscillator.on_board(board, iro_stages)
+
+    rows: List[Tuple] = []
+    reports = {}
+    frequencies = {}
+    for ring in (str_ring, iro_ring):
+        trace = ring.simulate(period_count, seed=seed).trace
+        periods = trace.periods_ps()
+        report = check_normality(periods)
+        reports[ring.name] = report
+        frequencies[ring.name] = trace.mean_frequency_mhz()
+        rows.append(
+            (
+                ring.name,
+                frequencies[ring.name],
+                float(periods.mean()),
+                float(periods.std(ddof=1)),
+                report.p_value,
+                report.skewness,
+                report.excess_kurtosis,
+                "yes" if report.is_normal else "no",
+            )
+        )
+
+    str_report = reports[str_ring.name]
+    iro_report = reports[iro_ring.name]
+    return ExperimentResult(
+        experiment_id="FIG9",
+        title="Period jitter histograms: 96-stage STR vs 5-stage IRO (Fig. 9)",
+        columns=(
+            "ring",
+            "F [MHz]",
+            "mean T [ps]",
+            "sigma T [ps]",
+            "normality p",
+            "skew",
+            "ex. kurtosis",
+            "gaussian",
+        ),
+        rows=rows,
+        paper_reference={
+            "claim": "both the IRO and the STR exhibit a Gaussian period jitter",
+            "frequencies": "both rings around 300 MHz",
+        },
+        checks={
+            "str_jitter_gaussian": str_report.is_normal and str_report.moments_look_gaussian,
+            "iro_jitter_gaussian": iro_report.is_normal and iro_report.moments_look_gaussian,
+            "similar_frequencies": abs(
+                frequencies[str_ring.name] - frequencies[iro_ring.name]
+            )
+            < 0.35 * max(frequencies.values()),
+        },
+        notes=(
+            "Normality checked on the simulated period population (the "
+            "scope histogram adds only quantization); Shapiro-Wilk at "
+            "alpha = 0.01."
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    abl1_charlie,
+    abl2_routing,
+    abl3_process,
+    abl4_drafting,
+    abl5_placement,
+    ext1_trng_attack,
+    ext2_coherent,
+    ext3_accumulation,
+    ext4_multiphase,
+    ext5_restarts,
+    ext6_temperature,
+    ext7_coherent_counter,
+    ext8_tradeoff,
+    ext9_xored_baseline,
+    fig04_propagation,
+    fig05_modes,
+    fig07_charlie,
+    fig08_voltage,
+    fig09_histograms,
+    fig10_method,
+    fig11_iro_jitter,
+    fig12_str_jitter,
+    sec5a_locking,
+    table1_rvv,
+    table2_process,
+)
+from repro.experiments.base import ExperimentResult
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "FIG4": fig04_propagation.run,
+    "FIG5": fig05_modes.run,
+    "FIG7": fig07_charlie.run,
+    "FIG8": fig08_voltage.run,
+    "TAB1": table1_rvv.run,
+    "TAB2": table2_process.run,
+    "FIG9": fig09_histograms.run,
+    "FIG10": fig10_method.run,
+    "FIG11": fig11_iro_jitter.run,
+    "FIG12": fig12_str_jitter.run,
+    "SEC5A": sec5a_locking.run,
+    "EXT1": ext1_trng_attack.run,
+    "EXT2": ext2_coherent.run,
+    "EXT3": ext3_accumulation.run,
+    "EXT4": ext4_multiphase.run,
+    "EXT5": ext5_restarts.run,
+    "EXT6": ext6_temperature.run,
+    "EXT7": ext7_coherent_counter.run,
+    "EXT8": ext8_tradeoff.run,
+    "EXT9": ext9_xored_baseline.run,
+    "ABL1": abl1_charlie.run,
+    "ABL2": abl2_routing.run,
+    "ABL3": abl3_process.run,
+    "ABL4": abl4_drafting.run,
+    "ABL5": abl5_placement.run,
+}
+
+#: All known experiment ids, in paper order.
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up the ``run`` callable for an experiment id."""
+    try:
+        return _REGISTRY[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id with optional config overrides."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,96 @@
+"""SEC5A — evenly-spaced mode locking (paper Section V-A).
+
+The paper verifies experimentally that
+
+* STRs with ``NT = NB`` lock into the evenly-spaced mode for ring
+  lengths from 4 to 96, and
+* a 32-stage ring stays evenly spaced for every configuration
+  ``NT in {10, 12, 14, 16, 18, 20}`` — which "suggests a high Charlie
+  effect in the selected devices".
+
+We replay both sweeps on the calibrated device model and classify the
+steady regime of each configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.temporal_model import solve_steady_state
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import Board
+from repro.rings.modes import OscillationMode, classify_trace
+from repro.rings.str_ring import SelfTimedRing
+
+#: Balanced ring lengths checked by the paper ("from 4 to 96").
+BALANCED_LENGTHS: Tuple[int, ...] = (4, 8, 16, 24, 32, 48, 64, 96)
+#: Token counts of the 32-stage sweep.
+TOKEN_SWEEP_32: Tuple[int, ...] = (10, 12, 14, 16, 18, 20)
+
+
+def run(
+    board: Optional[Board] = None,
+    balanced_lengths: Sequence[int] = BALANCED_LENGTHS,
+    token_counts_32: Sequence[int] = TOKEN_SWEEP_32,
+    period_count: int = 192,
+    seed: int = 23,
+) -> ExperimentResult:
+    """Classify the steady regime of every configuration the paper lists."""
+    board = board if board is not None else Board()
+    rows: List[Tuple] = []
+    verdicts: List[bool] = []
+
+    def classify(ring: SelfTimedRing, label: str) -> None:
+        steady = solve_steady_state(ring.mean_diagram(), ring.stage_count, ring.token_count)
+        result = ring.simulate(period_count, seed=seed, warmup_periods=48)
+        classification = classify_trace(result.trace)
+        evenly = classification.mode is OscillationMode.EVENLY_SPACED
+        verdicts.append(evenly)
+        rows.append(
+            (
+                label,
+                ring.stage_count,
+                ring.token_count,
+                classification.mode.value,
+                classification.coefficient_of_variation,
+                steady.separation_ps,
+                steady.regulation_margin,
+            )
+        )
+
+    for length in balanced_lengths:
+        classify(SelfTimedRing.on_board(board, length), "balanced sweep")
+    balanced_ok = all(verdicts)
+
+    token_verdicts_start = len(verdicts)
+    for token_count in token_counts_32:
+        classify(SelfTimedRing.on_board(board, 32, token_count=token_count), "NT sweep L=32")
+    token_sweep_ok = all(verdicts[token_verdicts_start:])
+
+    return ExperimentResult(
+        experiment_id="SEC5A",
+        title="Evenly-spaced mode locking (Section V-A observations)",
+        columns=(
+            "sweep",
+            "L",
+            "NT",
+            "steady mode",
+            "interval CV",
+            "s* [ps]",
+            "regulation margin",
+        ),
+        rows=rows,
+        paper_reference={
+            "balanced": "NT = NB locks evenly-spaced for L = 4..96",
+            "token_sweep": "L = 32 evenly-spaced for NT = 10..20",
+        },
+        checks={
+            "balanced_rings_lock": balanced_ok,
+            "token_sweep_locks": token_sweep_ok,
+        },
+        notes=(
+            "The wide NT window at L = 32 requires the calibrated Charlie "
+            "magnitude; with a weak Charlie effect the detuned "
+            "configurations would drift toward the linear diagram region."
+        ),
+    )

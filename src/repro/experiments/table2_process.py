@@ -1,0 +1,101 @@
+"""TAB2 — extra-device frequency dispersion over five boards (Table II).
+
+Manufactures a five-board bank from the calibrated process model, sends
+the same "bitstream" (placement + configuration) to every board, and
+reports the relative standard deviation of the ring frequency, next to
+the paper's measurements.  Verified structural claims:
+
+* the 96-stage STR has by far the narrowest dispersion;
+* dispersion improves from IRO 3C to IRO 5C (local mismatch averaging),
+  but only at the cost of frequency (F ~ 1/L for IROs);
+* the STR keeps a *high* frequency while reaching the low dispersion —
+  the paper's headline advantage for coherent-sampling TRNGs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.characterization import measure_family_dispersion
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import BoardBank
+from repro.fpga.calibration import TABLE2_TARGETS, Table2Row
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+
+
+def run(
+    bank: Optional[BoardBank] = None,
+    seed: int = 7,
+    targets: Sequence[Table2Row] = TABLE2_TARGETS,
+) -> ExperimentResult:
+    """Reproduce Table II on a simulated board bank."""
+    bank = bank if bank is not None else BoardBank.manufacture(board_count=5, seed=seed)
+    rows: List[Tuple] = []
+    measured = {}
+    for target in targets:
+        if target.kind == "iro":
+            builder = lambda b, L=target.stage_count: InverterRingOscillator.on_board(b, L)
+        else:
+            builder = lambda b, L=target.stage_count: SelfTimedRing.on_board(b, L)
+        dispersion = measure_family_dispersion(bank, builder)
+        label = f"{target.kind.upper()} {target.stage_count}C"
+        measured[label] = dispersion
+        rows.append(
+            (
+                label,
+                *(round(float(f), 2) for f in dispersion.frequencies_mhz),
+                f"{dispersion.sigma_rel:.2%}",
+                f"{target.sigma_rel:.2%}",
+            )
+        )
+
+    str96 = measured["STR 96C"]
+    iro3 = measured["IRO 3C"]
+    iro5 = measured["IRO 5C"]
+    str4 = measured["STR 4C"]
+
+    # The IRO3 -> IRO5 improvement (local-mismatch averaging) is smaller
+    # than the sampling noise of a 5-board sigma estimate, so that
+    # structural check runs on a larger auxiliary bank.
+    big_bank = BoardBank.manufacture(board_count=40, seed=seed + 1)
+    iro3_big = measure_family_dispersion(
+        big_bank, lambda b: InverterRingOscillator.on_board(b, 3)
+    )
+    iro5_big = measure_family_dispersion(
+        big_bank, lambda b: InverterRingOscillator.on_board(b, 5)
+    )
+    return ExperimentResult(
+        experiment_id="TAB2",
+        title="Relative standard deviation of frequencies over 5 devices (Table II)",
+        columns=(
+            "ring",
+            "board 1",
+            "board 2",
+            "board 3",
+            "board 4",
+            "board 5",
+            "sigma_rel",
+            "paper sigma_rel",
+        ),
+        rows=rows,
+        paper_reference={
+            f"{t.kind.upper()} {t.stage_count}C": t.sigma_rel for t in targets
+        },
+        checks={
+            "str96_narrowest": str96.sigma_rel == min(m.sigma_rel for m in measured.values()),
+            "str96_much_tighter_than_short_rings": str96.sigma_rel
+            < 0.5 * min(iro3.sigma_rel, iro5.sigma_rel, str4.sigma_rel),
+            "str96_keeps_high_frequency": str96.mean_frequency_mhz > 250.0,
+            "iro_dispersion_improves_only_with_lower_frequency": iro5_big.sigma_rel
+            < iro3_big.sigma_rel
+            and iro5_big.mean_frequency_mhz < iro3_big.mean_frequency_mhz,
+        },
+        notes=(
+            "Five independent process draws per run; individual sigma_rel "
+            "values fluctuate between banks, the ordering does not.  The "
+            "paper's IRO 5C absolute frequency (305 MHz) is inconsistent "
+            "with its own Table I value (376 MHz) - a different placement; "
+            "we report the placed-model frequency."
+        ),
+    )

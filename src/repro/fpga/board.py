@@ -1,0 +1,177 @@
+"""Boards and board banks — the experiment's physical population.
+
+A :class:`Board` bundles one manufactured device (a sampled
+:class:`~repro.fpga.process.DeviceVariation`), the family calibration and
+a power supply setting.  A :class:`BoardBank` manufactures several boards
+from the same process model, which is how the paper's five-board
+extra-device experiment (Table II) is reproduced: the same "bitstream"
+(placement + ring configuration) is resolved on every board of the bank.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.fpga.calibration import CalibratedTiming, cyclone_iii_calibration
+from repro.fpga.device import DeviceTimingModel, StageTiming
+from repro.fpga.placement import Placement
+from repro.fpga.process import DeviceVariation
+from repro.fpga.voltage import SupplySpec
+from repro.simulation.noise import (
+    ConstantModulation,
+    DeterministicModulation,
+    SinusoidalModulation,
+    make_rng,
+)
+
+#: Enough LUTs for the largest rings studied plus auxiliary logic.
+DEFAULT_DEVICE_LUT_COUNT: int = 1024
+
+
+class Board:
+    """One board: a manufactured device plus its supply.
+
+    Parameters
+    ----------
+    variation:
+        Sampled process factors of this board's device.
+    supply:
+        Core supply setting; defaults to a clean 1.2 V.
+    calibration:
+        Family calibration; defaults to the Cyclone III reference.
+    name:
+        Label used in reports ("board 1" ... "board 5" in the paper).
+    """
+
+    def __init__(
+        self,
+        variation: Optional[DeviceVariation] = None,
+        supply: SupplySpec = SupplySpec(),
+        calibration: Optional[CalibratedTiming] = None,
+        name: str = "board",
+    ) -> None:
+        self._calibration = calibration if calibration is not None else cyclone_iii_calibration()
+        self._variation = (
+            variation
+            if variation is not None
+            else DeviceVariation.nominal(DEFAULT_DEVICE_LUT_COUNT)
+        )
+        self._supply = supply
+        self._timing_model = self._calibration.timing_model()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def calibration(self) -> CalibratedTiming:
+        return self._calibration
+
+    @property
+    def variation(self) -> DeviceVariation:
+        return self._variation
+
+    @property
+    def supply(self) -> SupplySpec:
+        return self._supply
+
+    @property
+    def timing_model(self) -> DeviceTimingModel:
+        return self._timing_model
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def with_supply(self, supply: SupplySpec) -> "Board":
+        """Return a copy of this board at a different supply setting.
+
+        The device (process sample) is shared — this models turning the
+        voltage knob on the same physical board, which is exactly what
+        the Fig. 8 sweep does.
+        """
+        return Board(
+            variation=self._variation,
+            supply=supply,
+            calibration=self._calibration,
+            name=self.name,
+        )
+
+    def resolve(self, placement: Placement, with_charlie: bool = False) -> List[StageTiming]:
+        """Resolve a placed ring's stage timings on this board."""
+        return self._timing_model.stage_timings(
+            placement,
+            variation=self._variation,
+            supply_v=self._supply.voltage_v,
+            temperature_c=self._supply.temperature_c,
+            with_charlie=with_charlie,
+        )
+
+    def supply_modulation(self) -> DeterministicModulation:
+        """Deterministic delay modulation induced by this board's supply.
+
+        An ideal regulator yields the identity modulation; residual
+        ripple becomes a sinusoidal delay modulation whose relative
+        amplitude follows the transistor voltage sensitivity.
+        """
+        if not self._supply.has_ripple:
+            return ConstantModulation(0.0)
+        beta = self._calibration.constants.transistor_sensitivity.beta_per_volt
+        voltage_amplitude = self._supply.ripple_fraction * self._supply.voltage_v
+        # A voltage dip of dV scales delays by ~ 1 + beta * dV.
+        return SinusoidalModulation(
+            amplitude=beta * voltage_amplitude,
+            period_ps=self._supply.ripple_period_ps,
+        )
+
+    def __repr__(self) -> str:
+        return f"Board(name={self.name!r}, supply={self._supply!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class BoardBank:
+    """A set of boards manufactured from the same process model."""
+
+    boards: Sequence[Board]
+
+    def __post_init__(self) -> None:
+        if len(self.boards) == 0:
+            raise ValueError("a board bank needs at least one board")
+
+    def __len__(self) -> int:
+        return len(self.boards)
+
+    def __iter__(self):
+        return iter(self.boards)
+
+    def __getitem__(self, index: int) -> Board:
+        return self.boards[index]
+
+    @classmethod
+    def manufacture(
+        cls,
+        board_count: int = 5,
+        seed=0,
+        supply: SupplySpec = SupplySpec(),
+        calibration: Optional[CalibratedTiming] = None,
+        lut_count: int = DEFAULT_DEVICE_LUT_COUNT,
+    ) -> "BoardBank":
+        """Manufacture ``board_count`` boards (five in the paper).
+
+        Each board's device is an independent draw from the calibrated
+        process model; the supply and calibration are shared.
+        """
+        if board_count < 1:
+            raise ValueError(f"board count must be positive, got {board_count}")
+        calibration = calibration if calibration is not None else cyclone_iii_calibration()
+        rng = make_rng(seed)
+        boards = [
+            Board(
+                variation=calibration.process.sample_device(lut_count, seed=rng),
+                supply=supply,
+                calibration=calibration,
+                name=f"board {index + 1}",
+            )
+            for index in range(board_count)
+        ]
+        return cls(boards=tuple(boards))

@@ -1,0 +1,251 @@
+"""Structural netlists for the ring circuits.
+
+The paper's rings are tiny netlists: a chain of configured LUTs closed
+into a loop, hand-placed into LABs.  This module gives the "bitstream"
+the rest of the library talks about an explicit structural form:
+
+* :class:`Cell` — one configured LUT (inverter, buffer/delay element, or
+  Muller C-element with embedded inverter — the paper's STR stage);
+* :class:`Net` — a directed connection between cell pins;
+* :class:`Netlist` — cells + nets, with structural validation;
+* generators :func:`iro_netlist` / :func:`str_netlist` for the two ring
+  topologies, and :func:`ring_order` to recover the logical stage order
+  from any valid ring netlist.
+
+The timing layer consumes only the *shape* (stage order + placement), so
+the netlist is the right place to check the structure once instead of
+trusting every caller: every cell driven, no dangling inputs, a single
+cycle through all stages, exactly one inverting stage for an IRO.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class CellFunction(enum.Enum):
+    """LUT configuration of a ring stage."""
+
+    INVERTER = "inverter"
+    BUFFER = "buffer"
+    MULLER_INV = "muller_inv"  # C-element + inverter: one STR stage
+
+    @property
+    def input_pins(self) -> Tuple[str, ...]:
+        if self is CellFunction.MULLER_INV:
+            return ("forward", "reverse")
+        return ("in",)
+
+    @property
+    def is_inverting(self) -> bool:
+        return self in (CellFunction.INVERTER, CellFunction.MULLER_INV)
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One configured LUT."""
+
+    name: str
+    function: CellFunction
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell name cannot be empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class Net:
+    """A directed connection: driver cell output -> sink cell input pin."""
+
+    driver: str
+    sink: str
+    sink_pin: str
+
+    def __post_init__(self) -> None:
+        if not (self.driver and self.sink and self.sink_pin):
+            raise ValueError("net endpoints cannot be empty")
+
+
+class NetlistError(ValueError):
+    """Raised on structurally invalid netlists."""
+
+
+class Netlist:
+    """Cells plus nets, with structural checks at construction."""
+
+    def __init__(self, cells: Sequence[Cell], nets: Sequence[Net], name: str = "ring") -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise NetlistError(f"duplicate cell name {cell.name!r}")
+            self._cells[cell.name] = cell
+        self._nets = list(nets)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> List[Cell]:
+        return list(self._cells.values())
+
+    @property
+    def nets(self) -> List[Net]:
+        return list(self._nets)
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(f"no cell named {name!r}") from None
+
+    def forward_successor(self, cell_name: str) -> str:
+        """The cell whose primary input this cell drives."""
+        for net in self._nets:
+            sink_cell = self._cells[net.sink]
+            primary = sink_cell.function.input_pins[0]
+            if net.driver == cell_name and net.sink_pin == primary:
+                return net.sink
+        raise NetlistError(f"cell {cell_name!r} drives no primary input")
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if len(self._cells) < 3:
+            raise NetlistError("a ring netlist needs at least 3 cells")
+        # Every net endpoint must exist, every pin must be legal.
+        driven: Dict[Tuple[str, str], str] = {}
+        for net in self._nets:
+            if net.driver not in self._cells:
+                raise NetlistError(f"net driver {net.driver!r} is not a cell")
+            if net.sink not in self._cells:
+                raise NetlistError(f"net sink {net.sink!r} is not a cell")
+            pins = self._cells[net.sink].function.input_pins
+            if net.sink_pin not in pins:
+                raise NetlistError(
+                    f"cell {net.sink!r} ({self._cells[net.sink].function.value}) "
+                    f"has no pin {net.sink_pin!r}; pins: {pins}"
+                )
+            key = (net.sink, net.sink_pin)
+            if key in driven:
+                raise NetlistError(
+                    f"pin {net.sink}.{net.sink_pin} driven by both "
+                    f"{driven[key]!r} and {net.driver!r}"
+                )
+            driven[key] = net.driver
+        # No dangling input pins.
+        for cell in self._cells.values():
+            for pin in cell.function.input_pins:
+                if (cell.name, pin) not in driven:
+                    raise NetlistError(f"pin {cell.name}.{pin} is undriven")
+
+    def validate_single_ring(self) -> List[str]:
+        """Check the primary-input graph is one cycle; return stage order."""
+        order = ring_order(self)
+        if len(order) != self.cell_count:
+            raise NetlistError(
+                f"primary-input cycle covers {len(order)} of "
+                f"{self.cell_count} cells — not a single ring"
+            )
+        return order
+
+
+def ring_order(netlist: Netlist) -> List[str]:
+    """Follow primary inputs around the ring, starting at the first cell."""
+    start = netlist.cells[0].name
+    order = [start]
+    current = start
+    for _ in range(netlist.cell_count):
+        current = netlist.forward_successor(current)
+        if current == start:
+            return order
+        if current in order:
+            raise NetlistError(f"primary-input path re-enters at {current!r} before closing")
+        order.append(current)
+    raise NetlistError("primary-input path does not close into a ring")
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def iro_netlist(stage_count: int, name: str = "iro") -> Netlist:
+    """The paper's IRO: one inverter plus ``stage_count - 1`` buffers."""
+    if stage_count < 3:
+        raise NetlistError(f"an IRO needs at least 3 stages, got {stage_count}")
+    cells = [Cell(f"{name}_s0", CellFunction.INVERTER)]
+    cells += [Cell(f"{name}_s{i}", CellFunction.BUFFER) for i in range(1, stage_count)]
+    nets = [
+        Net(driver=f"{name}_s{i}", sink=f"{name}_s{(i + 1) % stage_count}", sink_pin="in")
+        for i in range(stage_count)
+    ]
+    netlist = Netlist(cells, nets, name=name)
+    netlist.validate_single_ring()
+    return netlist
+
+
+def str_netlist(stage_count: int, name: str = "str") -> Netlist:
+    """The paper's STR: Muller+inverter stages, forward and reverse nets."""
+    if stage_count < 3:
+        raise NetlistError(f"an STR needs at least 3 stages, got {stage_count}")
+    cells = [Cell(f"{name}_s{i}", CellFunction.MULLER_INV) for i in range(stage_count)]
+    nets = []
+    for i in range(stage_count):
+        successor = (i + 1) % stage_count
+        predecessor = (i - 1) % stage_count
+        nets.append(Net(f"{name}_s{i}", f"{name}_s{successor}", "forward"))
+        nets.append(Net(f"{name}_s{i}", f"{name}_s{predecessor}", "reverse"))
+    netlist = Netlist(cells, nets, name=name)
+    netlist.validate_single_ring()
+    return netlist
+
+
+def inverting_stage_count(netlist: Netlist) -> int:
+    """Number of inverting stages (must be odd for an IRO to oscillate)."""
+    return sum(1 for cell in netlist.cells if cell.function.is_inverting)
+
+
+@dataclasses.dataclass(frozen=True)
+class Bitstream:
+    """A netlist bound to a placement — what gets 'sent to the boards'.
+
+    Table II's experiment is literally "sending the same bit-stream to
+    five boards"; this type is that artifact.
+    """
+
+    netlist: Netlist
+    first_lut: int = 0
+
+    def placement(self, lab_capacity: int = 16):
+        from repro.fpga.placement import place_ring
+
+        return place_ring(
+            self.netlist.cell_count, lab_capacity=lab_capacity, first_lut=self.first_lut
+        )
+
+    def realize(self, board):
+        """Instantiate the placed ring on a board as a ring model."""
+        from repro.rings.iro import InverterRingOscillator
+        from repro.rings.str_ring import SelfTimedRing
+
+        functions = {cell.function for cell in self.netlist.cells}
+        if functions == {CellFunction.MULLER_INV}:
+            return SelfTimedRing.on_board(
+                board, self.netlist.cell_count, first_lut=self.first_lut
+            )
+        if CellFunction.MULLER_INV in functions:
+            raise NetlistError("mixed IRO/STR netlists are not realizable")
+        if inverting_stage_count(self.netlist) % 2 == 0:
+            raise NetlistError(
+                "an IRO needs an odd number of inverting stages to oscillate"
+            )
+        return InverterRingOscillator.on_board(
+            board, self.netlist.cell_count, first_lut=self.first_lut
+        )

@@ -1,0 +1,115 @@
+"""Manufacturing process variability (paper Section V-C).
+
+The paper quantifies *extra-device* variability: the same bitstream sent
+to five boards yields slightly different ring frequencies (Table II).  Two
+statistical layers reproduce that structure:
+
+* a **global** per-device speed factor — all delays in one device share
+  it (die-to-die / wafer-to-wafer variation), so it never averages out no
+  matter how long the ring is;
+* a **local** per-LUT mismatch factor — independent across LUT cells, so
+  a frequency that averages ``L`` stage delays sees its contribution
+  shrink like ``1/sqrt(L)``.
+
+Both are modelled as multiplicative Gaussian factors around 1.0.  The
+paper's Table II is consistent with a global sigma of ~0.15 % and a local
+sigma of ~1.35 % (see ``repro.fpga.calibration``): the 3-stage IRO at
+0.79 % is local-dominated, the 96-stage STR at 0.15 % is global-limited.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.noise import SeedLike, make_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceVariation:
+    """Sampled process factors of one manufactured device.
+
+    ``global_factor`` multiplies every delay in the device;
+    ``lut_factors[i]`` additionally multiplies the delay of LUT ``i``.
+    Factors are dimensionless, centred on 1.0.
+    """
+
+    global_factor: float
+    lut_factors: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.global_factor <= 0.0:
+            raise ValueError(f"global factor must be positive, got {self.global_factor}")
+        factors = np.asarray(self.lut_factors, dtype=float)
+        if factors.ndim != 1:
+            raise ValueError("lut_factors must be one-dimensional")
+        if np.any(factors <= 0.0):
+            raise ValueError("all LUT factors must be positive")
+
+    @property
+    def lut_count(self) -> int:
+        return int(np.asarray(self.lut_factors).size)
+
+    def stage_factor(self, lut_index: int) -> float:
+        """Combined multiplicative factor for one LUT's delay."""
+        return float(self.global_factor * self.lut_factors[lut_index])
+
+    def stage_factors(self) -> np.ndarray:
+        """Combined factors for all LUTs at once."""
+        return self.global_factor * np.asarray(self.lut_factors, dtype=float)
+
+    @classmethod
+    def nominal(cls, lut_count: int) -> "DeviceVariation":
+        """A process-free device (all factors exactly 1)."""
+        return cls(global_factor=1.0, lut_factors=np.ones(lut_count))
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessVariation:
+    """Statistical model of the manufacturing spread of a device family.
+
+    Parameters
+    ----------
+    global_sigma_rel:
+        Relative standard deviation of the per-device speed factor.
+    local_sigma_rel:
+        Relative standard deviation of the per-LUT mismatch factor.
+    """
+
+    global_sigma_rel: float
+    local_sigma_rel: float
+
+    def __post_init__(self) -> None:
+        if self.global_sigma_rel < 0.0:
+            raise ValueError(f"global sigma must be non-negative, got {self.global_sigma_rel}")
+        if self.local_sigma_rel < 0.0:
+            raise ValueError(f"local sigma must be non-negative, got {self.local_sigma_rel}")
+
+    def sample_device(self, lut_count: int, seed: SeedLike = None) -> DeviceVariation:
+        """Manufacture one device: draw its global and per-LUT factors.
+
+        Factors are clipped at 3 sigma away from 1.0 toward zero so that
+        a pathological draw can never produce a non-positive delay.
+        """
+        if lut_count < 1:
+            raise ValueError(f"lut_count must be positive, got {lut_count}")
+        rng = make_rng(seed)
+        global_factor = _positive_normal(rng, self.global_sigma_rel, size=None)
+        lut_factors = _positive_normal(rng, self.local_sigma_rel, size=lut_count)
+        return DeviceVariation(global_factor=float(global_factor), lut_factors=np.atleast_1d(lut_factors))
+
+    @classmethod
+    def none(cls) -> "ProcessVariation":
+        """A perfect process (useful for deterministic timing tests)."""
+        return cls(global_sigma_rel=0.0, local_sigma_rel=0.0)
+
+
+def _positive_normal(rng: np.random.Generator, sigma: float, size: Optional[int]):
+    """Draw N(1, sigma^2) clipped to stay strictly positive."""
+    if sigma == 0.0:
+        return 1.0 if size is None else np.ones(size)
+    draw = rng.normal(1.0, sigma, size=size)
+    floor = max(1.0 - 3.0 * sigma, 1e-3)
+    return np.clip(draw, floor, None)

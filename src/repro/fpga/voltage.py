@@ -1,0 +1,117 @@
+"""Supply-voltage dependence of propagation delays.
+
+The paper observes (Fig. 8) that ring frequencies vary *linearly* with the
+core supply voltage over the 1.0 V - 1.4 V sweep.  We therefore model the
+delay of each timing component as::
+
+    D(V) = D_nom / (1 + beta * (V - V_nom))
+
+which makes the frequency of a ring built from a single component class
+exactly linear in ``V``, with a normalized excursion over a 0.4 V sweep of
+``delta_F = 0.4 * beta``.  Different component classes (transistor
+switching, interconnect, the Charlie-effect penalty) carry different
+``beta`` coefficients; the measured ring sensitivity is the delay-weighted
+blend of its components' coefficients — the mechanism behind the STR's
+improved robustness (Table I).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Nominal Cyclone III core voltage used throughout the paper.
+NOMINAL_CORE_VOLTAGE: float = 1.2
+
+#: Sweep bounds of Fig. 8 / Table I.
+MIN_SWEEP_VOLTAGE: float = 1.0
+MAX_SWEEP_VOLTAGE: float = 1.4
+
+#: Nominal junction temperature; the [1]-style attacks also turn this knob.
+NOMINAL_TEMPERATURE_C: float = 25.0
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltageSensitivity:
+    """Voltage-to-delay law of one timing component class.
+
+    ``beta_per_volt`` is the linear frequency sensitivity: a component
+    with ``beta = 1.25`` speeds up by 25 % for a +0.2 V overdrive.
+    """
+
+    beta_per_volt: float
+    nominal_v: float = NOMINAL_CORE_VOLTAGE
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0.0:
+            raise ValueError(f"nominal voltage must be positive, got {self.nominal_v}")
+
+    def speedup(self, supply_v: float) -> float:
+        """``1 + beta * (V - V_nom)`` — the frequency scale factor."""
+        value = 1.0 + self.beta_per_volt * (supply_v - self.nominal_v)
+        if value <= 0.0:
+            raise ValueError(
+                f"supply voltage {supply_v} V drives the delay model out of "
+                f"range (speedup {value} <= 0)"
+            )
+        return value
+
+    def delay_factor(self, supply_v: float) -> float:
+        """Multiplier applied to the nominal delay at ``supply_v``."""
+        return 1.0 / self.speedup(supply_v)
+
+
+@dataclasses.dataclass(frozen=True)
+class TemperatureSensitivity:
+    """Linear temperature-to-delay law of one component class.
+
+    ``coeff_per_c`` is the relative delay increase per degree above the
+    nominal junction temperature — CMOS logic slows with heat, typically
+    by a few 1e-4/K at these nodes.
+    """
+
+    coeff_per_c: float
+    nominal_c: float = NOMINAL_TEMPERATURE_C
+
+    def delay_factor(self, temperature_c: float) -> float:
+        """Multiplier applied to the nominal delay at ``temperature_c``."""
+        value = 1.0 + self.coeff_per_c * (temperature_c - self.nominal_c)
+        if value <= 0.0:
+            raise ValueError(
+                f"temperature {temperature_c} C drives the delay model out "
+                f"of range (factor {value} <= 0)"
+            )
+        return value
+
+
+@dataclasses.dataclass(frozen=True)
+class SupplySpec:
+    """Core supply + thermal operating point, with regulator imperfection.
+
+    The boards of the paper carry a linear regulator specifically to
+    suppress supply-borne deterministic jitter; ``ripple_fraction``
+    models the residual relative ripple that leaks through (0 for an
+    ideal regulator).  ``temperature_c`` is the junction temperature —
+    the second knob of the [1]-style environmental attacks.
+    """
+
+    voltage_v: float = NOMINAL_CORE_VOLTAGE
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    ripple_fraction: float = 0.0
+    ripple_period_ps: float = 1.0e6  # 1 MHz ripple by default
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0.0:
+            raise ValueError(f"supply voltage must be positive, got {self.voltage_v}")
+        if not (-60.0 <= self.temperature_c <= 150.0):
+            raise ValueError(
+                f"temperature {self.temperature_c} C outside the modelled "
+                "-60..150 C range"
+            )
+        if self.ripple_fraction < 0.0:
+            raise ValueError(f"ripple fraction must be non-negative, got {self.ripple_fraction}")
+        if self.ripple_period_ps <= 0.0:
+            raise ValueError(f"ripple period must be positive, got {self.ripple_period_ps}")
+
+    @property
+    def has_ripple(self) -> bool:
+        return self.ripple_fraction > 0.0

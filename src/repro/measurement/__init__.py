@@ -1,0 +1,46 @@
+"""Instrumentation substrate — the simulated LeCroy scope and on-chip logic.
+
+The paper measures frequency and jitter with a LeCroy WavePro 735 Zi
+through the device's LVDS outputs, and works around the scope's limited
+single-shot resolution with an on-chip ``2^n`` divider (Fig. 10).  This
+subpackage models that whole chain:
+
+* :mod:`repro.measurement.probes` — the LVDS buffer + differential probe
+  (fixed delay, small additive jitter).
+* :mod:`repro.measurement.oscilloscope` — sample-clock quantization and
+  trigger noise; the reason direct ps-level jitter readings are biased.
+* :mod:`repro.measurement.counters` — the on-chip ripple divider.
+* :mod:`repro.measurement.jitter` — the measurement procedures: direct
+  period jitter, and the divider method with its normality
+  pre-check and the Eq. 6 recovery.
+"""
+
+from repro.measurement.probes import LvdsOutputPath
+from repro.measurement.oscilloscope import Oscilloscope, OscilloscopeSpec
+from repro.measurement.counters import RippleDivider, divide_periods
+from repro.measurement.frequency_counter import (
+    FrequencyCounter,
+    FrequencyCounterSpec,
+    FrequencyReading,
+)
+from repro.measurement.jitter import (
+    DirectJitterReading,
+    DividerJitterReading,
+    measure_period_jitter_direct,
+    measure_period_jitter_divider,
+)
+
+__all__ = [
+    "LvdsOutputPath",
+    "Oscilloscope",
+    "OscilloscopeSpec",
+    "RippleDivider",
+    "divide_periods",
+    "FrequencyCounter",
+    "FrequencyCounterSpec",
+    "FrequencyReading",
+    "DirectJitterReading",
+    "DividerJitterReading",
+    "measure_period_jitter_direct",
+    "measure_period_jitter_divider",
+]

@@ -1,0 +1,101 @@
+"""The on-chip frequency divider of the measurement method (Fig. 10).
+
+``osc_mes`` is generated inside the chip by counting ``2n`` rising events
+of ``osc``: a ripple counter whose MSB toggles every ``events_per_toggle``
+rising edges.  One full ``osc_mes`` period therefore spans
+``2 * events_per_toggle`` oscillator periods — long enough for the
+accumulated random jitter (which grows like sqrt of the period count) to
+tower above the scope's constant time-stamp error.
+
+The divider is on-chip and clocked by the oscillator itself, so it adds
+only a tiny, constant buffering jitter — modelled here as an optional
+per-edge Gaussian term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.simulation.noise import SeedLike, make_rng
+from repro.simulation.waveform import EdgeTrace
+
+
+def divide_periods(periods_ps: np.ndarray, periods_per_measurement: int) -> np.ndarray:
+    """Sum consecutive oscillator periods into ``osc_mes`` periods.
+
+    ``Tmes_j = sum of N consecutive T_i`` — the time-domain view of what
+    the ripple counter does.  Incomplete trailing groups are discarded.
+    """
+    if periods_per_measurement < 1:
+        raise ValueError(
+            f"periods per measurement must be positive, got {periods_per_measurement}"
+        )
+    periods = np.asarray(periods_ps, dtype=float)
+    usable = (periods.size // periods_per_measurement) * periods_per_measurement
+    if usable == 0:
+        raise ValueError(
+            f"need at least {periods_per_measurement} periods, got {periods.size}"
+        )
+    return periods[:usable].reshape(-1, periods_per_measurement).sum(axis=1)
+
+
+@dataclasses.dataclass(frozen=True)
+class RippleDivider:
+    """An ``n``-bit ripple counter dividing the oscillator output.
+
+    Attributes
+    ----------
+    bit_count:
+        Counter width: the output toggles on every ``2**bit_count``-th
+        rising input edge (counter overflow clocks a T flip-flop), so a
+        full ``osc_mes`` period spans ``2 * 2**bit_count`` oscillator
+        periods.
+    buffer_jitter_ps:
+        Small additive Gaussian jitter of the counter's output flop and
+        routing (constant, does not accumulate).
+    """
+
+    bit_count: int = 7
+    buffer_jitter_ps: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bit_count < 1:
+            raise ValueError(f"bit count must be positive, got {self.bit_count}")
+        if self.buffer_jitter_ps < 0.0:
+            raise ValueError(f"buffer jitter must be non-negative, got {self.buffer_jitter_ps}")
+
+    @property
+    def events_per_toggle(self) -> int:
+        """Rising input edges per output toggle: ``2**bit_count``."""
+        return 2**self.bit_count
+
+    @property
+    def periods_per_measurement(self) -> int:
+        """Oscillator periods per full ``osc_mes`` period (``2 * 2**n``)."""
+        return 2 * self.events_per_toggle
+
+    def divide(self, trace: EdgeTrace, seed: SeedLike = None) -> EdgeTrace:
+        """Produce the ``osc_mes`` edge trace from the oscillator trace.
+
+        The output toggles on every ``events_per_toggle``-th rising edge
+        of the input.  Rising edges are the even- or odd-indexed edges
+        depending on the trace's first value.
+        """
+        times = np.asarray(trace.times_ps, dtype=float)
+        # Rising edges: those whose post-edge value is 1.
+        first_rising_index = 0 if trace.first_value == 1 else 1
+        rising = times[first_rising_index::2]
+        toggle_times = rising[self.events_per_toggle - 1 :: self.events_per_toggle]
+        if toggle_times.size < 2:
+            raise ValueError(
+                f"trace too short: {rising.size} rising edges cannot feed a "
+                f"divider toggling every {self.events_per_toggle} edges"
+            )
+        if self.buffer_jitter_ps > 0.0:
+            rng = make_rng(seed)
+            toggle_times = np.sort(
+                toggle_times + rng.normal(0.0, self.buffer_jitter_ps, size=toggle_times.size)
+            )
+        return EdgeTrace(toggle_times, first_value=1)

@@ -1,0 +1,187 @@
+"""A virtual wide-band sampling oscilloscope.
+
+Models the two error sources the paper identifies in direct jitter
+measurements (Section V-D2):
+
+* **sample-clock quantization** — a real-time scope time-stamps an edge
+  on its sampling grid (with interpolation, a fraction of the sample
+  period).  This error is bounded and *does not grow* with the measured
+  interval;
+* **trigger/front-end noise** — additive Gaussian noise per time stamp.
+
+Both are negligible when measuring a 40 ns accumulated interval but
+swamp a 2-3 ps period jitter — which is precisely why the paper measures
+jitter through the divider method instead of reading sigma_period off
+the scope directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.simulation.noise import SeedLike, make_rng
+from repro.simulation.waveform import EdgeTrace
+from repro.units import PS_PER_NS
+
+
+@dataclasses.dataclass(frozen=True)
+class OscilloscopeSpec:
+    """Acquisition characteristics of the scope.
+
+    The defaults follow the LeCroy WavePro 735 Zi class of instrument:
+    40 GS/s sampling (25 ps raw grid) with sinx/x interpolation giving an
+    effective edge-placement grid of a few picoseconds, plus ~2 ps rms
+    trigger noise.
+    """
+
+    sample_period_ps: float = 25.0
+    interpolation_factor: int = 4
+    trigger_noise_ps: float = 2.0
+    memory_edges: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.sample_period_ps <= 0.0:
+            raise ValueError(f"sample period must be positive, got {self.sample_period_ps}")
+        if self.interpolation_factor < 1:
+            raise ValueError(f"interpolation factor must be >= 1, got {self.interpolation_factor}")
+        if self.trigger_noise_ps < 0.0:
+            raise ValueError(f"trigger noise must be non-negative, got {self.trigger_noise_ps}")
+        if self.memory_edges < 2:
+            raise ValueError(f"memory must hold at least 2 edges, got {self.memory_edges}")
+
+    @property
+    def effective_grid_ps(self) -> float:
+        """Edge-placement grid after interpolation."""
+        return self.sample_period_ps / self.interpolation_factor
+
+    @property
+    def timestamp_noise_ps(self) -> float:
+        """RMS single-edge time-stamp error (quantization + trigger)."""
+        quantization_rms = self.effective_grid_ps / np.sqrt(12.0)
+        return float(np.hypot(quantization_rms, self.trigger_noise_ps))
+
+    @classmethod
+    def wavepro_735zi(cls) -> "OscilloscopeSpec":
+        """The paper's instrument."""
+        return cls()
+
+    @classmethod
+    def ideal(cls) -> "OscilloscopeSpec":
+        """An error-free instrument (for validating the pipeline)."""
+        return cls(
+            sample_period_ps=1e-6,
+            interpolation_factor=1,
+            trigger_noise_ps=0.0,
+        )
+
+
+class Oscilloscope:
+    """Acquires edge traces and computes the scope's statistical readouts."""
+
+    def __init__(self, spec: OscilloscopeSpec = OscilloscopeSpec(), seed: SeedLike = None) -> None:
+        self._spec = spec
+        self._rng = make_rng(seed)
+
+    @property
+    def spec(self) -> OscilloscopeSpec:
+        return self._spec
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def acquire(self, trace: EdgeTrace) -> EdgeTrace:
+        """Time-stamp a physical edge trace through the scope front end.
+
+        Each edge instant receives Gaussian trigger noise and is snapped
+        to the interpolated sampling grid.  Raises if the signal is too
+        fast for the grid (two edges collapsing onto one time stamp).
+        """
+        if len(trace) > self._spec.memory_edges:
+            raise ValueError(
+                f"trace of {len(trace)} edges exceeds scope memory "
+                f"({self._spec.memory_edges} edges)"
+            )
+        times = np.asarray(trace.times_ps, dtype=float)
+        if self._spec.trigger_noise_ps > 0.0 and times.size > 0:
+            times = times + self._rng.normal(0.0, self._spec.trigger_noise_ps, size=times.size)
+        grid = self._spec.effective_grid_ps
+        times = np.round(times / grid) * grid
+        times = np.sort(times)
+        if times.size >= 2 and np.any(np.diff(times) <= 0.0):
+            raise ValueError(
+                "signal too fast for the scope: consecutive edges collapsed "
+                f"onto the {grid} ps acquisition grid"
+            )
+        return EdgeTrace(times, first_value=trace.first_value)
+
+    # ------------------------------------------------------------------
+    # statistical readouts (the scope's "measure" menu)
+    # ------------------------------------------------------------------
+    def period_population_ps(self, trace: EdgeTrace) -> np.ndarray:
+        """Acquire and return the measured period population."""
+        return self.acquire(trace).periods_ps()
+
+    def measure_frequency_mhz(self, trace: EdgeTrace) -> float:
+        """Mean frequency readout."""
+        return self.acquire(trace).mean_frequency_mhz()
+
+    def measure_period_jitter_ps(self, trace: EdgeTrace) -> float:
+        """Direct sigma_period readout — biased for ps-level jitter."""
+        return self.acquire(trace).period_jitter_ps()
+
+    def measure_cycle_to_cycle_jitter_ps(self, trace: EdgeTrace) -> float:
+        """Direct cycle-to-cycle jitter readout."""
+        return self.acquire(trace).cycle_to_cycle_jitter_ps()
+
+    def period_histogram(
+        self, trace: EdgeTrace, bin_width_ps: float = 1.0
+    ) -> "PeriodHistogram":
+        """The scope's period-jitter histogram tool (Fig. 9)."""
+        periods = self.period_population_ps(trace)
+        return PeriodHistogram.from_periods(periods, bin_width_ps)
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodHistogram:
+    """Histogram of a period population, as a scope would display it."""
+
+    bin_edges_ps: np.ndarray
+    counts: np.ndarray
+    mean_ps: float
+    sigma_ps: float
+
+    @classmethod
+    def from_periods(cls, periods_ps: np.ndarray, bin_width_ps: float) -> "PeriodHistogram":
+        periods = np.asarray(periods_ps, dtype=float)
+        if periods.size < 2:
+            raise ValueError("need at least two periods to build a histogram")
+        if bin_width_ps <= 0.0:
+            raise ValueError(f"bin width must be positive, got {bin_width_ps}")
+        low = np.floor(periods.min() / bin_width_ps) * bin_width_ps
+        high = np.ceil(periods.max() / bin_width_ps) * bin_width_ps
+        if high <= low:
+            high = low + bin_width_ps
+        edges = np.arange(low, high + 0.5 * bin_width_ps, bin_width_ps)
+        counts, edges = np.histogram(periods, bins=edges)
+        return cls(
+            bin_edges_ps=edges,
+            counts=counts,
+            mean_ps=float(np.mean(periods)),
+            sigma_ps=float(np.std(periods, ddof=1)),
+        )
+
+    @property
+    def bin_centers_ps(self) -> np.ndarray:
+        return 0.5 * (self.bin_edges_ps[:-1] + self.bin_edges_ps[1:])
+
+    def render_ascii(self, width: int = 50) -> str:
+        """Poor man's scope display, handy in example scripts."""
+        lines = []
+        peak = max(int(self.counts.max()), 1)
+        for center, count in zip(self.bin_centers_ps, self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"{center / PS_PER_NS:9.4f} ns | {bar}")
+        lines.append(f"mean = {self.mean_ps:.1f} ps, sigma = {self.sigma_ps:.2f} ps")
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Token and bubble algebra of self-timed rings (paper Section II-C).
+
+The STR state is the vector of stage outputs ``C``.  Stage ``i`` holds a
+
+* **token**  when ``C[i] != C[i-1]`` (indices cyclic),
+* **bubble** when ``C[i] == C[i-1]``.
+
+Walking once around the ring, the output value flips exactly once per
+token, so *every* reachable state has an even token count — which is why
+the paper requires ``NT`` to be a positive even number.
+
+This module builds initial states with a prescribed token placement
+(evenly spread for the steady-state experiments, clustered to provoke the
+burst transient) and extracts token/bubble census information from any
+state vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.temporal_model import validate_token_configuration
+
+
+def _as_state(state: Sequence[int]) -> np.ndarray:
+    array = np.asarray(state, dtype=int)
+    if array.ndim != 1:
+        raise ValueError("a ring state must be one-dimensional")
+    if array.size < 3:
+        raise ValueError(f"an STR needs at least 3 stages, got {array.size}")
+    if not np.all((array == 0) | (array == 1)):
+        raise ValueError("stage outputs must be 0 or 1")
+    return array
+
+
+def token_mask(state: Sequence[int]) -> np.ndarray:
+    """Boolean mask: ``mask[i]`` is True when stage ``i`` holds a token."""
+    array = _as_state(state)
+    return array != np.roll(array, 1)
+
+
+def count_tokens(state: Sequence[int]) -> int:
+    """Number of tokens in the state (always even)."""
+    return int(np.count_nonzero(token_mask(state)))
+
+
+def count_bubbles(state: Sequence[int]) -> int:
+    """Number of bubbles (``L - NT``)."""
+    array = _as_state(state)
+    return int(array.size) - count_tokens(array)
+
+
+def token_positions(state: Sequence[int]) -> List[int]:
+    """Indices of the token-holding stages."""
+    return [int(index) for index in np.nonzero(token_mask(state))[0]]
+
+
+def bubble_positions(state: Sequence[int]) -> List[int]:
+    """Indices of the bubble-holding stages."""
+    return [int(index) for index in np.nonzero(~token_mask(state))[0]]
+
+
+def tokens_and_bubbles(state: Sequence[int]) -> Tuple[int, int]:
+    """``(NT, NB)`` census of a state."""
+    tokens = count_tokens(state)
+    return tokens, len(_as_state(state)) - tokens
+
+
+def state_from_token_positions(stage_count: int, positions: Sequence[int]) -> np.ndarray:
+    """Build the output vector whose tokens sit exactly at ``positions``.
+
+    The state is defined up to global inversion; this constructor fixes
+    ``C[0]`` by convention (0 if stage 0 holds no token).
+    """
+    position_set = set(int(p) for p in positions)
+    if len(position_set) != len(positions):
+        raise ValueError("token positions must be distinct")
+    if any(p < 0 or p >= stage_count for p in position_set):
+        raise ValueError("token positions must lie in [0, stage_count)")
+    if len(position_set) % 2 != 0:
+        raise ValueError(f"token count must be even, got {len(position_set)}")
+    validate_token_configuration(stage_count, len(position_set))
+
+    state = np.zeros(stage_count, dtype=int)
+    value = 0
+    for stage in range(stage_count):
+        if stage in position_set:
+            value ^= 1
+        state[stage] = value
+    # Walking past the wrap-around flips an even number of times, so the
+    # constructed state is automatically consistent at stage 0.
+    return state
+
+
+def spread_tokens_evenly(stage_count: int, token_count: int) -> np.ndarray:
+    """Initial state with ``token_count`` tokens spread evenly around.
+
+    This is the initialization the paper uses to start rings near the
+    evenly-spaced operating point (tokens at positions
+    ``floor(k * L / NT)``).
+    """
+    validate_token_configuration(stage_count, token_count)
+    positions = [int(np.floor(k * stage_count / token_count)) for k in range(token_count)]
+    if len(set(positions)) != token_count:
+        raise ValueError(
+            f"cannot spread {token_count} tokens over {stage_count} stages without collisions"
+        )
+    return state_from_token_positions(stage_count, positions)
+
+
+def cluster_tokens(stage_count: int, token_count: int) -> np.ndarray:
+    """Initial state with all tokens adjacent (a maximally bursty start).
+
+    Used to probe mode convergence: a ring with a strong Charlie effect
+    spreads this cluster back out, a drafting-dominated ring keeps it.
+    """
+    validate_token_configuration(stage_count, token_count)
+    return state_from_token_positions(stage_count, list(range(token_count)))
+
+
+def fireable_stages(state: Sequence[int]) -> List[int]:
+    """Stages allowed to fire: token in ``i`` and bubble in ``i+1``.
+
+    This is the paper's propagation condition
+    ``C_i != C_{i-1}  and  C_i == C_{i+1}`` (Section II-C2).
+    """
+    array = _as_state(state)
+    stage_count = array.size
+    mask = token_mask(array)
+    result = []
+    for stage in range(stage_count):
+        successor = (stage + 1) % stage_count
+        if mask[stage] and not mask[successor]:
+            result.append(stage)
+    return result
+
+
+def fire_stage(state: Sequence[int], stage: int) -> np.ndarray:
+    """Apply one firing: stage output takes its forward input's value.
+
+    Returns a new state; raises if the stage is not fireable.  Useful for
+    untimed (logical) exploration of the token dynamics, e.g. the Fig. 4
+    propagation demonstration.
+    """
+    array = _as_state(state).copy()
+    stage_count = array.size
+    predecessor = (stage - 1) % stage_count
+    successor = (stage + 1) % stage_count
+    has_token = array[stage] != array[predecessor]
+    successor_bubble = array[successor] == array[stage]
+    if not (has_token and successor_bubble):
+        raise ValueError(f"stage {stage} is not fireable in state {array.tolist()}")
+    array[stage] = array[predecessor]
+    return array

@@ -1,0 +1,75 @@
+"""The paper's summary statistics (Sections V-B and V-C).
+
+* ``Fn = F / F_nom`` — frequency normalized to the 1.2 V reading, so
+  rings of very different absolute frequency can share one plot (Fig. 8);
+* ``delta F = (F_max - F_min) / F_nom`` — normalized frequency excursion
+  over the 0.4 V sweep (Table I), the paper's robustness-to-voltage
+  metric;
+* ``sigma_rel = sigma / F_mean`` — relative standard deviation across
+  boards (Table II), the extra-device variability metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def normalized_frequencies(
+    frequencies_mhz: Sequence[float], nominal_frequency_mhz: float
+) -> np.ndarray:
+    """``Fn = F / F_nom`` for a sweep of measurements."""
+    if nominal_frequency_mhz <= 0.0:
+        raise ValueError(f"nominal frequency must be positive, got {nominal_frequency_mhz}")
+    frequencies = np.asarray(frequencies_mhz, dtype=float)
+    if np.any(frequencies <= 0.0):
+        raise ValueError("all frequencies must be positive")
+    return frequencies / nominal_frequency_mhz
+
+
+def normalized_excursion(
+    frequency_at_min_v_mhz: float,
+    frequency_at_max_v_mhz: float,
+    nominal_frequency_mhz: float,
+) -> float:
+    """Table I metric: ``delta F = (F_max - F_min) / F_nom``."""
+    if nominal_frequency_mhz <= 0.0:
+        raise ValueError(f"nominal frequency must be positive, got {nominal_frequency_mhz}")
+    return (frequency_at_max_v_mhz - frequency_at_min_v_mhz) / nominal_frequency_mhz
+
+
+def relative_standard_deviation(values: Sequence[float]) -> float:
+    """Table II metric: ``sigma_rel = sigma / mean`` of a population.
+
+    Uses the population standard deviation (``ddof=0``), matching the
+    convention of instrument statistics over a fixed board set.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise ValueError(f"need at least two values, got {array.size}")
+    mean = float(np.mean(array))
+    if mean == 0.0:
+        raise ValueError("mean is zero; relative deviation undefined")
+    return float(np.std(array) / abs(mean))
+
+
+def linearity_r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    """Coefficient of determination of a straight-line fit.
+
+    Used to check the paper's observation that "frequencies vary linearly
+    with voltage" (Fig. 8).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 3:
+        raise ValueError("need at least three points to judge linearity")
+    slope, intercept = np.polyfit(x_arr, y_arr, deg=1)
+    predicted = slope * x_arr + intercept
+    total = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    if total == 0.0:
+        return 1.0
+    residual = float(np.sum((y_arr - predicted) ** 2))
+    return 1.0 - residual / total

@@ -1,0 +1,115 @@
+"""Accumulation-law fits for the jitter-vs-length experiments.
+
+Fig. 11 claims the IRO period jitter follows ``sigma_p = sqrt(2k) *
+sigma_g`` — a square-root law in the stage count.  Fig. 12 claims the STR
+period jitter is constant in the stage count.  This module fits both
+shapes and reports goodness-of-fit so the benchmarks can verify not just
+values but *laws*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a * x**b`` (in log space)."""
+
+    amplitude: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.amplitude * np.asarray(x, dtype=float) ** self.exponent
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstantFit:
+    """Fit of ``y = c`` with dispersion diagnostics."""
+
+    value: float
+    relative_spread: float  # std / mean of the residual population
+
+    @property
+    def is_flat(self) -> bool:
+        """True when the data varies by less than 35 % around the mean."""
+        return self.relative_spread < 0.35
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a * x**b`` by linear regression in log-log space."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 3:
+        raise ValueError("need at least three points for a power-law fit")
+    if np.any(x_arr <= 0.0) or np.any(y_arr <= 0.0):
+        raise ValueError("power-law fits require positive data")
+    log_x = np.log(x_arr)
+    log_y = np.log(y_arr)
+    exponent, log_amplitude = np.polyfit(log_x, log_y, deg=1)
+    predicted = exponent * log_x + log_amplitude
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    residual = float(np.sum((log_y - predicted) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return PowerLawFit(
+        amplitude=float(math.exp(log_amplitude)),
+        exponent=float(exponent),
+        r_squared=float(r_squared),
+    )
+
+
+def fit_sqrt_accumulation(
+    stage_counts: Sequence[int], period_jitters_ps: Sequence[float]
+) -> "SqrtLawFit":
+    """Fit Eq. 4, ``sigma_p = sqrt(2 k) * sigma_g``, to measured jitter.
+
+    Returns the implied single-gate jitter ``sigma_g`` and the free-form
+    power-law fit for comparison: a genuine square-root accumulation
+    shows an exponent close to 0.5.
+    """
+    stages = np.asarray(stage_counts, dtype=float)
+    jitters = np.asarray(period_jitters_ps, dtype=float)
+    if stages.size != jitters.size:
+        raise ValueError("stage counts and jitters must have the same length")
+    if stages.size < 3:
+        raise ValueError("need at least three points")
+    # Least squares for sigma_g with the exponent pinned at 0.5:
+    # sigma = sigma_g * sqrt(2k)  =>  sigma_g = sum(y*s) / sum(s^2).
+    basis = np.sqrt(2.0 * stages)
+    sigma_g = float(np.sum(jitters * basis) / np.sum(basis**2))
+    free_fit = fit_power_law(stages, jitters)
+    return SqrtLawFit(gate_sigma_ps=sigma_g, free_fit=free_fit)
+
+
+@dataclasses.dataclass(frozen=True)
+class SqrtLawFit:
+    """Result of the Eq. 4 fit."""
+
+    gate_sigma_ps: float
+    free_fit: PowerLawFit
+
+    @property
+    def follows_sqrt_law(self) -> bool:
+        """Exponent within [0.35, 0.65] and a decent log-space fit."""
+        return 0.35 <= self.free_fit.exponent <= 0.65 and self.free_fit.r_squared > 0.8
+
+    def predict(self, stage_counts: np.ndarray) -> np.ndarray:
+        return self.gate_sigma_ps * np.sqrt(2.0 * np.asarray(stage_counts, dtype=float))
+
+
+def fit_constant(y: Sequence[float]) -> ConstantFit:
+    """Fit a constant (Fig. 12's claim for the STR)."""
+    y_arr = np.asarray(y, dtype=float)
+    if y_arr.size < 2:
+        raise ValueError("need at least two points")
+    mean = float(np.mean(y_arr))
+    if mean == 0.0:
+        raise ValueError("mean is zero; relative spread undefined")
+    return ConstantFit(value=mean, relative_spread=float(np.std(y_arr) / abs(mean)))

@@ -1,0 +1,64 @@
+"""Bit-stream packing and export.
+
+Glue for handing simulated TRNG output to external tooling: the classic
+statistical suites (dieharder, NIST STS, ent) consume packed binary
+files, not numpy arrays of 0/1 integers.
+
+Bit order is MSB-first within each byte (the convention of the NIST STS
+``data`` files); round-trip tested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def pack_bits(bits: Sequence[int]) -> bytes:
+    """Pack a 0/1 sequence into bytes, MSB first, zero-padded at the end."""
+    array = np.asarray(bits, dtype=int)
+    if array.ndim != 1:
+        raise ValueError("bit stream must be one-dimensional")
+    if array.size == 0:
+        return b""
+    if not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit stream must contain only 0s and 1s")
+    return np.packbits(array.astype(np.uint8)).tobytes()
+
+
+def unpack_bits(data: bytes, bit_count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; ``bit_count`` trims the padding."""
+    if bit_count < 0:
+        raise ValueError(f"bit count must be non-negative, got {bit_count}")
+    if bit_count > 8 * len(data):
+        raise ValueError(
+            f"cannot unpack {bit_count} bits from {len(data)} bytes"
+        )
+    unpacked = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    return unpacked[:bit_count].astype(int)
+
+
+def write_bitstream(path: str, bits: Sequence[int]) -> int:
+    """Write packed bits to a file; returns the byte count.
+
+    The output feeds e.g. ``dieharder -a -g 201 -f <path>`` or the NIST
+    STS directly.
+    """
+    payload = pack_bits(bits)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def read_bitstream(path: str, bit_count: int) -> np.ndarray:
+    """Read ``bit_count`` bits back from a packed file."""
+    with open(path, "rb") as handle:
+        return unpack_bits(handle.read(), bit_count)
+
+
+def bits_to_bytes_count(bit_count: int) -> int:
+    """Bytes needed to hold ``bit_count`` packed bits."""
+    if bit_count < 0:
+        raise ValueError(f"bit count must be non-negative, got {bit_count}")
+    return (bit_count + 7) // 8

@@ -1,0 +1,163 @@
+"""Online health tests for TRNG output (AIS-31 / SP 800-90B style).
+
+A deployed TRNG cannot run a statistical battery on every block; it runs
+cheap *health tests* continuously and raises an alarm when the source
+degrades — exactly the operating-point shifts the paper's robustness
+analysis is about.  Two standard tests are implemented:
+
+* **repetition count** — catches a stuck or injection-locked source
+  (a run of identical bits longer than chance allows);
+* **adaptive proportion** — catches bias drift (too many occurrences of
+  one value inside a sliding window).
+
+Cutoffs follow the SP 800-90B construction: for a claimed min-entropy
+``H`` per bit, the repetition cutoff is ``1 + ceil(20 / H)`` (false
+alarm ~2^-20) and the adaptive-proportion cutoff is the binomial
+quantile at the same significance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthAlarm:
+    """One raised alarm."""
+
+    test_name: str
+    position: int
+    detail: str
+
+
+def repetition_count_cutoff(min_entropy_per_bit: float, alpha_exponent: int = 20) -> int:
+    """SP 800-90B repetition-count cutoff ``C = 1 + ceil(a / H)``."""
+    if not (0.0 < min_entropy_per_bit <= 1.0):
+        raise ValueError(f"min-entropy must be in (0, 1], got {min_entropy_per_bit}")
+    if alpha_exponent < 1:
+        raise ValueError("alpha exponent must be positive")
+    return 1 + math.ceil(alpha_exponent / min_entropy_per_bit)
+
+
+def adaptive_proportion_cutoff(
+    min_entropy_per_bit: float, window: int = 512, alpha_exponent: int = 20
+) -> int:
+    """SP 800-90B adaptive-proportion cutoff (binomial quantile)."""
+    if not (0.0 < min_entropy_per_bit <= 1.0):
+        raise ValueError(f"min-entropy must be in (0, 1], got {min_entropy_per_bit}")
+    if window < 16:
+        raise ValueError(f"window must be at least 16, got {window}")
+    p_max = 2.0 ** (-min_entropy_per_bit)
+    cutoff = int(scipy_stats.binom.ppf(1.0 - 2.0**-alpha_exponent, window - 1, p_max)) + 1
+    return min(cutoff, window)
+
+
+class HealthMonitor:
+    """Streaming health monitor for a binary source.
+
+    Feed bits with :meth:`ingest`; alarms accumulate in
+    :attr:`alarms`.  The monitor is stateless across ``reset()`` calls,
+    as a hardware implementation would be after an alarm is serviced.
+    """
+
+    def __init__(
+        self,
+        claimed_min_entropy: float = 0.9,
+        window: int = 512,
+        alpha_exponent: int = 20,
+    ) -> None:
+        self.claimed_min_entropy = claimed_min_entropy
+        self.window = window
+        self.repetition_cutoff = repetition_count_cutoff(claimed_min_entropy, alpha_exponent)
+        self.proportion_cutoff = adaptive_proportion_cutoff(
+            claimed_min_entropy, window, alpha_exponent
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all streaming state and alarms."""
+        self.alarms: List[HealthAlarm] = []
+        self._position = 0
+        self._last_bit = -1
+        self._run_length = 0
+        self._window_reference = -1
+        self._window_count = 0
+        self._window_position = 0
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def ingest(self, bits: Sequence[int]) -> List[HealthAlarm]:
+        """Process a chunk of bits; return alarms raised by this chunk."""
+        array = np.asarray(bits, dtype=int)
+        if array.ndim != 1:
+            raise ValueError("bits must be one-dimensional")
+        if array.size and not np.all((array == 0) | (array == 1)):
+            raise ValueError("bits must be 0 or 1")
+        new_alarms: List[HealthAlarm] = []
+        for bit in array:
+            bit = int(bit)
+            self._ingest_repetition(bit, new_alarms)
+            self._ingest_proportion(bit, new_alarms)
+            self._position += 1
+        self.alarms.extend(new_alarms)
+        return new_alarms
+
+    def _ingest_repetition(self, bit: int, alarms: List[HealthAlarm]) -> None:
+        if bit == self._last_bit:
+            self._run_length += 1
+        else:
+            self._last_bit = bit
+            self._run_length = 1
+        if self._run_length == self.repetition_cutoff:
+            alarms.append(
+                HealthAlarm(
+                    test_name="repetition_count",
+                    position=self._position,
+                    detail=f"{self._run_length} identical bits (cutoff "
+                    f"{self.repetition_cutoff})",
+                )
+            )
+            # Hardware restarts the counter after an alarm.
+            self._run_length = 0
+            self._last_bit = -1
+
+    def _ingest_proportion(self, bit: int, alarms: List[HealthAlarm]) -> None:
+        if self._window_position == 0:
+            self._window_reference = bit
+            self._window_count = 1
+            self._window_position = 1
+            return
+        if bit == self._window_reference:
+            self._window_count += 1
+        self._window_position += 1
+        if self._window_position >= self.window:
+            if self._window_count >= self.proportion_cutoff:
+                alarms.append(
+                    HealthAlarm(
+                        test_name="adaptive_proportion",
+                        position=self._position,
+                        detail=f"{self._window_count}/{self.window} occurrences "
+                        f"of {self._window_reference} (cutoff "
+                        f"{self.proportion_cutoff})",
+                    )
+                )
+            self._window_position = 0
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        return not self.alarms
+
+    def check_block(self, bits: Sequence[int]) -> bool:
+        """One-shot convenience: reset, ingest, report health."""
+        self.reset()
+        self.ingest(bits)
+        return self.healthy

@@ -1,0 +1,175 @@
+"""Phase-random-walk model of the elementary TRNG (fast path).
+
+For realistic operating points the reference clock is four to five
+orders of magnitude slower than the ring (a ~300 MHz ring sampled at a
+few kHz to tens of kHz to accumulate enough jitter).  Building the full
+edge timeline for that is hopeless; the standard equivalent model tracks
+only the oscillator *phase* at the sampling instants:
+
+    phi_{k+1} = phi_k + T_ref / T          (nominal advance, in periods)
+                - (w / T) * integral of m  (deterministic supply term)
+                + N(0, N sigma_p^2 / T^2)  (accumulated random jitter)
+
+    bit_k = 1  iff  frac(phi_k) < 1/2
+
+with ``N = T_ref / T`` periods per sample.  One output bit costs O(1)
+regardless of how slow the reference is.
+
+The deterministic and random contributions are kept separate, which is
+what the attack experiments need: an attacker who knows the injected
+waveform can reproduce the deterministic phase exactly, so only the
+random term protects the generator (Section IV of the paper, after [2]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.rings.base import RingOscillator
+from repro.simulation.noise import DeterministicModulation, SeedLike, make_rng
+
+
+class PhaseWalkTrng:
+    """Elementary TRNG evaluated through the phase-random-walk model.
+
+    Parameters
+    ----------
+    period_ps:
+        Oscillator period ``T``.
+    period_jitter_ps:
+        Per-period Gaussian jitter ``sigma_p`` (periods assumed
+        independent, exact for IROs, slightly conservative for STRs).
+    supply_weight:
+        Relative response of the ring's delay to supply modulation
+        (see :class:`repro.fpga.device.StageTiming`).
+    reference_period_ps:
+        Sampling period of the reference clock.
+    """
+
+    def __init__(
+        self,
+        period_ps: float,
+        period_jitter_ps: float,
+        supply_weight: float,
+        reference_period_ps: float,
+    ) -> None:
+        if period_ps <= 0.0:
+            raise ValueError(f"period must be positive, got {period_ps}")
+        if period_jitter_ps < 0.0:
+            raise ValueError(f"jitter must be non-negative, got {period_jitter_ps}")
+        if supply_weight < 0.0:
+            raise ValueError(f"supply weight must be non-negative, got {supply_weight}")
+        if reference_period_ps <= period_ps:
+            raise ValueError(
+                f"reference period ({reference_period_ps} ps) must exceed the "
+                f"oscillator period ({period_ps} ps)"
+            )
+        self.period_ps = float(period_ps)
+        self.period_jitter_ps = float(period_jitter_ps)
+        self.supply_weight = float(supply_weight)
+        self.reference_period_ps = float(reference_period_ps)
+
+    @classmethod
+    def from_ring(cls, ring: RingOscillator, reference_period_ps: float) -> "PhaseWalkTrng":
+        """Build the model from a resolved ring's analytical figures."""
+        weight = getattr(ring, "mean_supply_weight", 1.0)
+        return cls(
+            period_ps=ring.predicted_period_ps(),
+            period_jitter_ps=ring.predicted_period_jitter_ps(),
+            supply_weight=weight,
+            reference_period_ps=reference_period_ps,
+        )
+
+    # ------------------------------------------------------------------
+    # operating point
+    # ------------------------------------------------------------------
+    @property
+    def periods_per_sample(self) -> float:
+        return self.reference_period_ps / self.period_ps
+
+    @property
+    def phase_sigma_per_sample(self) -> float:
+        """Std of the random phase increment per sample, in periods."""
+        accumulated_variance = self.periods_per_sample * self.period_jitter_ps**2
+        return math.sqrt(accumulated_variance) / self.period_ps
+
+    @property
+    def q_factor(self) -> float:
+        """The entropy quality factor ``Q = N sigma_p^2 / T^2``."""
+        return self.phase_sigma_per_sample**2
+
+    # ------------------------------------------------------------------
+    # phase trajectories
+    # ------------------------------------------------------------------
+    def deterministic_phase(
+        self,
+        bit_count: int,
+        modulation: Optional[DeterministicModulation],
+        initial_phase: float,
+        oversample: int = 16,
+    ) -> np.ndarray:
+        """Noise-free phase at every sampling instant, in periods.
+
+        The supply-modulation integral is evaluated by the trapezoid rule
+        on an ``oversample``-times finer grid (the injected waveforms are
+        smooth, so a modest oversampling suffices).
+        """
+        if bit_count < 1:
+            raise ValueError(f"bit count must be positive, got {bit_count}")
+        nominal = initial_phase + self.periods_per_sample * np.arange(1, bit_count + 1)
+        if modulation is None or self.supply_weight == 0.0:
+            return nominal
+        grid_count = bit_count * oversample + 1
+        grid = np.linspace(0.0, bit_count * self.reference_period_ps, grid_count)
+        factors = modulation.factor_array(grid)
+        step = grid[1] - grid[0]
+        integral = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (factors[1:] + factors[:-1]) * step)]
+        )
+        # Delay scaling by (1 + w m) slows the phase down by w * integral(m) / T.
+        phase_shift = -(self.supply_weight / self.period_ps) * integral[oversample::oversample]
+        return nominal + phase_shift
+
+    def generate(
+        self,
+        bit_count: int,
+        seed: SeedLike = None,
+        modulation: Optional[DeterministicModulation] = None,
+        initial_phase: Optional[float] = None,
+        jitter_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Generate bits; ``jitter_scale=0`` yields the attacker's replica.
+
+        ``initial_phase`` (in periods) pins the power-up phase; ``None``
+        draws it uniformly — pass an explicit value when comparing a
+        noisy run against its deterministic replica.
+        """
+        rng = make_rng(seed)
+        if initial_phase is None:
+            initial_phase = float(rng.uniform(0.0, 1.0))
+        phase = self.deterministic_phase(bit_count, modulation, initial_phase)
+        if jitter_scale > 0.0 and self.phase_sigma_per_sample > 0.0:
+            increments = rng.normal(
+                0.0, jitter_scale * self.phase_sigma_per_sample, size=bit_count
+            )
+            phase = phase + np.cumsum(increments)
+        return (np.mod(phase, 1.0) < 0.5).astype(int)
+
+
+def reference_period_for_q(
+    period_ps: float, period_jitter_ps: float, q_target: float
+) -> float:
+    """Reference period achieving a target quality factor ``Q``.
+
+    Inverts ``Q = (T_ref / T) sigma_p^2 / T^2`` — the provisioning rule a
+    designer uses once the entropy source is characterized, and the
+    reason the paper's sigma measurements matter.
+    """
+    if q_target <= 0.0:
+        raise ValueError(f"Q target must be positive, got {q_target}")
+    if period_jitter_ps <= 0.0:
+        raise ValueError("a jitter-free oscillator cannot reach any Q target")
+    return q_target * period_ps**3 / period_jitter_ps**2

@@ -1,0 +1,62 @@
+"""Arithmetic post-processing (correctors) for raw TRNG output.
+
+Entropy extraction is the second factor of TRNG quality the paper's
+introduction names.  Three classic correctors:
+
+* von Neumann — unbiases independent-but-biased bits at a ~4x rate cost;
+* XOR decimation — folds ``k`` consecutive bits into one, exponentially
+  shrinking bias (and linear correlation);
+* block parity — same folding expressed per fixed-size block.
+
+Correctors *compress* entropy that must already be there; they cannot
+repair a source whose entropy was destroyed by a deterministic attack —
+which is why the attack experiments report both raw and corrected
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_bits(bits: Sequence[int]) -> np.ndarray:
+    array = np.asarray(bits, dtype=int)
+    if array.ndim != 1:
+        raise ValueError("bit stream must be one-dimensional")
+    if not np.all((array == 0) | (array == 1)):
+        raise ValueError("bit stream must contain only 0s and 1s")
+    return array
+
+
+def von_neumann(bits: Sequence[int]) -> np.ndarray:
+    """Von Neumann corrector: 01 -> 0, 10 -> 1, 00/11 -> discard.
+
+    Output length is data-dependent (about ``n * p * (1-p) * 2`` bits).
+    """
+    array = _as_bits(bits)
+    usable = (array.size // 2) * 2
+    pairs = array[:usable].reshape(-1, 2)
+    keep = pairs[:, 0] != pairs[:, 1]
+    return pairs[keep, 0].copy()
+
+
+def xor_decimate(bits: Sequence[int], fold: int) -> np.ndarray:
+    """XOR ``fold`` consecutive bits into one output bit.
+
+    For independent bits with bias ``e``, the output bias is
+    ``2**(fold-1) * e**fold`` — exponential suppression.
+    """
+    if fold < 1:
+        raise ValueError(f"fold must be positive, got {fold}")
+    array = _as_bits(bits)
+    usable = (array.size // fold) * fold
+    if usable == 0:
+        raise ValueError(f"need at least {fold} bits, got {array.size}")
+    return array[:usable].reshape(-1, fold).sum(axis=1) % 2
+
+
+def parity_blocks(bits: Sequence[int], block_size: int) -> np.ndarray:
+    """Alias of :func:`xor_decimate` with block terminology."""
+    return xor_decimate(bits, block_size)

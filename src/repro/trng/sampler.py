@@ -1,0 +1,129 @@
+"""Sampling a jittery clock with a D flip-flop.
+
+The elementary extraction mechanism of oscillator-based TRNGs: the noisy
+oscillator drives the D input of a flip-flop clocked by a reference.
+Each sample reads the oscillator's *phase parity* at the sampling
+instant; the randomness comes from the jitter accumulated between
+samples.
+
+:class:`JitteryClock` turns a stream of period samples (from either ring
+evaluation path) into an edge timeline that can be interrogated at
+arbitrary instants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class JitteryClock:
+    """A square-wave clock reconstructed from consecutive period samples.
+
+    Assumes a 50 % duty cycle (each period contributes two half-period
+    edges), which matches both ring models in their steady regimes.
+    """
+
+    def __init__(self, periods_ps: Sequence[float], start_value: int = 0) -> None:
+        periods = np.asarray(periods_ps, dtype=float)
+        if periods.ndim != 1 or periods.size == 0:
+            raise ValueError("need a non-empty 1-D period sequence")
+        if np.any(periods <= 0.0):
+            raise ValueError("all periods must be positive")
+        if start_value not in (0, 1):
+            raise ValueError(f"start value must be 0 or 1, got {start_value}")
+        half_periods = np.repeat(periods, 2) / 2.0
+        self._edge_times = np.cumsum(half_periods)
+        self._start_value = start_value
+        self._total_time = float(self._edge_times[-1])
+
+    @property
+    def total_time_ps(self) -> float:
+        """Timeline length covered by the period samples."""
+        return self._total_time
+
+    @property
+    def edge_times_ps(self) -> np.ndarray:
+        return self._edge_times.copy()
+
+    def value_at(self, times_ps: np.ndarray) -> np.ndarray:
+        """Clock value at each query instant (vectorized).
+
+        A query beyond the covered timeline is a programming error — it
+        would silently freeze the clock — and raises instead.
+        """
+        query = np.asarray(times_ps, dtype=float)
+        if np.any(query < 0.0):
+            raise ValueError("cannot sample before t = 0")
+        if np.any(query > self._total_time):
+            raise ValueError(
+                f"query beyond the covered timeline ({self._total_time} ps); "
+                "generate more periods"
+            )
+        edges_before = np.searchsorted(self._edge_times, query, side="right")
+        return (self._start_value + edges_before) % 2
+
+    def distance_to_edge_ps(self, times_ps: np.ndarray) -> np.ndarray:
+        """Distance from each query instant to the nearest clock edge.
+
+        The quantity that decides whether a sampling flip-flop violates
+        its setup/hold window (see :func:`sample_clock_at`'s
+        metastability model).
+        """
+        query = np.asarray(times_ps, dtype=float)
+        index = np.searchsorted(self._edge_times, query)
+        before = np.where(
+            index > 0, query - self._edge_times[np.maximum(index - 1, 0)], np.inf
+        )
+        after = np.where(
+            index < self._edge_times.size,
+            self._edge_times[np.minimum(index, self._edge_times.size - 1)] - query,
+            np.inf,
+        )
+        return np.minimum(np.abs(before), np.abs(after))
+
+
+def sample_clock_at(
+    clock: JitteryClock,
+    reference_period_ps: float,
+    sample_count: int,
+    first_sample_ps: float = 0.0,
+    metastability_window_ps: float = 0.0,
+    seed=None,
+) -> np.ndarray:
+    """D flip-flop sampling: read the clock every ``reference_period_ps``.
+
+    Returns ``sample_count`` bits.  Raises if the clock timeline is too
+    short — the caller decides how many oscillator periods to generate
+    (roughly ``sample_count * T_ref / T_osc`` plus margin).
+
+    ``metastability_window_ps`` models the flip-flop's setup/hold
+    aperture: when a clock edge falls within that window of the sampling
+    instant, the captured bit resolves to either value with probability
+    1/2 (the simplest standard model).  Zero (the default) is an ideal
+    flip-flop.  Note that metastability randomness is *not* accounted as
+    entropy by the design formulas — real designs treat it as a bonus
+    with poor statistical guarantees.
+    """
+    if reference_period_ps <= 0.0:
+        raise ValueError(f"reference period must be positive, got {reference_period_ps}")
+    if sample_count < 1:
+        raise ValueError(f"sample count must be positive, got {sample_count}")
+    if first_sample_ps < 0.0:
+        raise ValueError(f"first sample instant must be non-negative, got {first_sample_ps}")
+    if metastability_window_ps < 0.0:
+        raise ValueError(
+            f"metastability window must be non-negative, got {metastability_window_ps}"
+        )
+    sample_times = first_sample_ps + reference_period_ps * np.arange(sample_count)
+    bits = clock.value_at(sample_times).astype(int)
+    if metastability_window_ps > 0.0:
+        from repro.simulation.noise import make_rng
+
+        rng = make_rng(seed)
+        unstable = clock.distance_to_edge_ps(sample_times) < metastability_window_ps
+        count = int(np.count_nonzero(unstable))
+        if count:
+            bits[unstable] = rng.integers(0, 2, size=count)
+    return bits

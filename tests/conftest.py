@@ -1,0 +1,23 @@
+"""Shared fixtures: one calibrated board/bank per test session."""
+
+import pytest
+
+from repro.fpga.board import Board, BoardBank
+from repro.fpga.calibration import CalibratedTiming, cyclone_iii_calibration
+
+
+@pytest.fixture(scope="session")
+def calibration() -> CalibratedTiming:
+    return cyclone_iii_calibration()
+
+
+@pytest.fixture(scope="session")
+def board() -> Board:
+    """A nominal (process-free) board at 1.2 V."""
+    return Board()
+
+
+@pytest.fixture(scope="session")
+def bank() -> BoardBank:
+    """A five-board bank with a fixed manufacturing seed."""
+    return BoardBank.manufacture(board_count=5, seed=123)

@@ -1,0 +1,83 @@
+"""Characterization campaigns."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignReport, RingSpec, run_campaign
+
+
+class TestRingSpec:
+    def test_labels(self):
+        assert RingSpec("iro", 5).label == "IRO 5C"
+        assert RingSpec("str", 96).label == "STR 96C"
+
+    def test_build(self, board):
+        assert RingSpec("iro", 5).build(board).stage_count == 5
+        str_ring = RingSpec("str", 32, token_count=10).build(board)
+        assert str_ring.token_count == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "lc", "stage_count": 5},
+            {"kind": "iro", "stage_count": 2},
+            {"kind": "iro", "stage_count": 5, "token_count": 2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RingSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def report(bank):
+    return run_campaign(
+        [RingSpec("iro", 5), RingSpec("str", 48)],
+        bank=bank,
+        jitter_periods=768,
+        seed=1,
+    )
+
+
+class TestRunCampaign:
+    def test_results_per_spec(self, report):
+        assert [result.label for result in report.results] == ["IRO 5C", "STR 48C"]
+
+    def test_paper_figures_recovered(self, report):
+        iro = report.result_for("IRO 5C")
+        str_ = report.result_for("STR 48C")
+        # bank[0] is a manufactured (process-varied) board, not nominal.
+        assert iro.nominal_frequency_mhz == pytest.approx(375.9, abs=8.0)
+        assert iro.delta_f == pytest.approx(0.49, abs=0.02)
+        assert str_.delta_f == pytest.approx(0.39, abs=0.02)
+        assert str_.period_jitter_ps < iro.period_jitter_ps
+
+    def test_diffusion_below_sigma_for_str(self, report):
+        str_ = report.result_for("STR 48C")
+        assert 0.0 < str_.diffusion_sigma_ps < str_.period_jitter_ps
+
+    def test_trng_provisioning_positive(self, report):
+        for result in report.results:
+            assert result.trng_reference_period_ps > 0
+            assert 0.99 < result.trng_entropy_bound <= 1.0
+
+    def test_board_frequencies_recorded(self, report, bank):
+        assert len(report.result_for("IRO 5C").board_frequencies_mhz) == len(bank)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "IRO 5C" in text and "delta F" in text
+
+    def test_json_round_trip(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["board_count"] == 5
+        assert payload["results"][0]["label"] == "IRO 5C"
+
+    def test_unknown_label(self, report):
+        with pytest.raises(KeyError):
+            report.result_for("LC TANK")
+
+    def test_empty_specs_rejected(self, bank):
+        with pytest.raises(ValueError):
+            run_campaign([], bank=bank)

@@ -1,0 +1,43 @@
+"""End-to-end comparison report."""
+
+import pytest
+
+from repro.core.comparison import compare_entropy_sources
+
+
+@pytest.fixture(scope="module")
+def report(bank):
+    # Small jitter campaign to keep the test quick; the conclusions do not
+    # depend on the sample size.
+    return compare_entropy_sources(
+        bank=bank,
+        iro_stages=5,
+        str_stages=96,
+        voltages=(1.0, 1.2, 1.4),
+        jitter_method="population",
+        jitter_periods=768,
+        seed=3,
+    )
+
+
+class TestComparisonReport:
+    def test_paper_conclusions_hold(self, report):
+        assert report.str_more_robust_to_voltage
+        assert report.str_lower_dispersion
+        assert report.str_jitter_length_independent
+
+    def test_source_names(self, report):
+        assert report.iro.name == "IRO 5C"
+        assert report.str_.name == "STR 96C"
+
+    def test_metrics_populated(self, report):
+        assert report.iro.delta_f == pytest.approx(0.49, abs=0.02)
+        assert report.str_.delta_f == pytest.approx(0.37, abs=0.02)
+        assert 0.0 < report.str_.sigma_rel < report.iro.sigma_rel
+        assert report.str_.trng_entropy_bound >= 0.0
+
+    def test_render_contains_rows(self, report):
+        text = report.render()
+        assert "delta F" in text
+        assert "IRO 5C" in text and "STR 96C" in text
+        assert "sigma_period" in text

@@ -1,0 +1,95 @@
+"""Analytical jitter model (Eqs. 4-7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import jitter_model
+
+
+class TestLocalGaussian:
+    def test_equation_4(self):
+        assert jitter_model.iro_period_jitter_ps(5, 2.0) == pytest.approx(math.sqrt(10) * 2.0)
+
+    def test_equation_4_grows_with_sqrt(self):
+        small = jitter_model.iro_period_jitter_ps(5, 2.0)
+        large = jitter_model.iro_period_jitter_ps(80, 2.0)
+        assert large / small == pytest.approx(math.sqrt(80 / 5))
+
+    def test_equation_5(self):
+        assert jitter_model.str_period_jitter_ps(2.0) == pytest.approx(2.0 * math.sqrt(2))
+        # The paper's quoted value: sqrt(2) * sigma_g ~= 2.83 ps.
+        assert jitter_model.str_period_jitter_ps(2.0) == pytest.approx(2.83, abs=0.01)
+
+    def test_equation_7_inverts_equation_4(self):
+        sigma_p = jitter_model.iro_period_jitter_ps(25, 1.7)
+        assert jitter_model.gate_jitter_from_iro_period_jitter(sigma_p, 25) == pytest.approx(1.7)
+
+    def test_accumulated_jitter_sqrt_law(self):
+        assert jitter_model.accumulated_jitter_ps(3.0, 256) == pytest.approx(48.0)
+
+    @pytest.mark.parametrize(
+        "func,args",
+        [
+            (jitter_model.iro_period_jitter_ps, (0, 2.0)),
+            (jitter_model.iro_period_jitter_ps, (5, -1.0)),
+            (jitter_model.str_period_jitter_ps, (-1.0,)),
+            (jitter_model.gate_jitter_from_iro_period_jitter, (-1.0, 5)),
+            (jitter_model.gate_jitter_from_iro_period_jitter, (1.0, 0)),
+            (jitter_model.accumulated_jitter_ps, (1.0, 0)),
+        ],
+    )
+    def test_validation(self, func, args):
+        with pytest.raises(ValueError):
+            func(*args)
+
+
+class TestDividerMethod:
+    def test_equation_6_round_trip(self):
+        sigma_p = 2.5
+        for periods in (16, 256, 4096):
+            sigma_cc = jitter_model.divided_cycle_to_cycle_jitter(sigma_p, periods)
+            assert jitter_model.recover_period_jitter_from_divided(
+                sigma_cc, periods
+            ) == pytest.approx(sigma_p)
+
+    def test_matches_paper_notation(self):
+        # With N = 2n accumulated periods, sigma_p = sigma_cc / (2 sqrt n).
+        n = 64
+        sigma_p = 3.0
+        sigma_cc = jitter_model.divided_cycle_to_cycle_jitter(sigma_p, 2 * n)
+        assert sigma_p == pytest.approx(sigma_cc / (2.0 * math.sqrt(n)))
+
+    def test_monte_carlo_consistency(self):
+        rng = np.random.default_rng(0)
+        sigma_p, periods_per = 2.0, 128
+        periods = rng.normal(1000.0, sigma_p, size=periods_per * 4000)
+        sums = periods.reshape(-1, periods_per).sum(axis=1)
+        sigma_cc = float(np.std(np.diff(sums), ddof=1))
+        recovered = jitter_model.recover_period_jitter_from_divided(sigma_cc, periods_per)
+        assert recovered == pytest.approx(sigma_p, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jitter_model.recover_period_jitter_from_divided(1.0, 0)
+        with pytest.raises(ValueError):
+            jitter_model.divided_cycle_to_cycle_jitter(1.0, 0)
+
+
+class TestDeterministic:
+    def test_iro_linear_accumulation(self):
+        assert jitter_model.iro_deterministic_period_shift_ps(80, 0.5) == pytest.approx(80.0)
+
+    def test_str_shift_uses_increments(self):
+        factors = np.array([0.0, 0.01, 0.01, 0.0])
+        shifts = jitter_model.str_deterministic_period_shift_ps(3000.0, factors)
+        assert shifts == pytest.approx([30.0, 0.0, -30.0])
+
+    def test_attenuation_ratio(self):
+        assert jitter_model.deterministic_attenuation_ratio(100.0, 4.0) == pytest.approx(25.0)
+        assert math.isinf(jitter_model.deterministic_attenuation_ratio(1.0, 0.0))
+
+    def test_str_shift_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            jitter_model.str_deterministic_period_shift_ps(1000.0, np.array([0.1]))

@@ -1,0 +1,88 @@
+"""Closed-form sensitivity calculator."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    DelayComponent,
+    blended_beta,
+    frequency_scale,
+    iro_stage_stack,
+    normalized_excursion,
+    sensitivity_weight,
+    str_stage_stack,
+    total_delay_ps,
+)
+
+
+class TestSingleComponent:
+    def test_excursion_is_04_beta(self):
+        stack = [DelayComponent(100.0, 1.25)]
+        assert normalized_excursion(stack) == pytest.approx(0.5)
+
+    def test_frequency_scale_linear(self):
+        stack = [DelayComponent(100.0, 1.0)]
+        assert frequency_scale(stack, 1.4) == pytest.approx(1.2)
+        assert frequency_scale(stack, 1.0) == pytest.approx(0.8)
+
+    def test_blended_beta_identity(self):
+        assert blended_beta([DelayComponent(50.0, 0.9)]) == 0.9
+
+
+class TestComposite:
+    def test_blend_weighted_by_delay(self):
+        stack = [DelayComponent(300.0, 1.0), DelayComponent(100.0, 0.0)]
+        assert blended_beta(stack) == pytest.approx(0.75)
+
+    def test_low_beta_component_dampens_excursion(self):
+        pure = [DelayComponent(400.0, 1.25)]
+        diluted = [DelayComponent(300.0, 1.25), DelayComponent(100.0, 0.2)]
+        assert normalized_excursion(diluted) < normalized_excursion(pure)
+
+    def test_sensitivity_weight(self):
+        stack = [DelayComponent(300.0, 1.0), DelayComponent(100.0, 0.0)]
+        assert sensitivity_weight(stack, reference_beta=1.0) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_delay_ps([], 1.2)
+        with pytest.raises(ValueError):
+            DelayComponent(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            sensitivity_weight([DelayComponent(1.0, 1.0)], 0.0)
+
+
+class TestCalibratedStacks:
+    def test_iro_stack_matches_table1(self):
+        assert normalized_excursion(iro_stage_stack()) == pytest.approx(0.486, abs=0.005)
+
+    @pytest.mark.parametrize(
+        "stages,expected",
+        [(4, 0.50), (24, 0.44), (48, 0.39), (96, 0.37)],
+    )
+    def test_str_stacks_match_table1(self, stages, expected):
+        assert normalized_excursion(str_stage_stack(stages)) == pytest.approx(
+            expected, abs=0.005
+        )
+
+    def test_str_weight_matches_stage_timing(self, board):
+        """The closed form agrees with the device model's supply_weight."""
+        from repro.rings.str_ring import SelfTimedRing
+
+        ring = SelfTimedRing.on_board(board, 96)
+        stack = str_stage_stack(96)
+        assert sensitivity_weight(stack, 1.245) == pytest.approx(
+            ring.mean_supply_weight, abs=0.01
+        )
+
+    def test_iro_weight_matches_stage_timing(self, board):
+        from repro.rings.iro import InverterRingOscillator
+
+        ring = InverterRingOscillator.on_board(board, 5)
+        assert sensitivity_weight(iro_stage_stack(), 1.245) == pytest.approx(
+            ring.mean_supply_weight, abs=0.005
+        )
+
+    def test_total_delay_matches_frequency(self):
+        # STR 96C: T = 4 * stack delay -> 320 MHz.
+        delay = total_delay_ps(str_stage_stack(96), 1.2)
+        assert 1e6 / (4.0 * delay) == pytest.approx(320.0, abs=0.5)

@@ -1,0 +1,75 @@
+"""Boards and board banks."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.board import Board, BoardBank
+from repro.fpga.placement import place_ring
+from repro.fpga.voltage import SupplySpec
+from repro.simulation.noise import ConstantModulation, SinusoidalModulation
+
+
+class TestBoard:
+    def test_default_board_is_nominal(self, board):
+        timings = board.resolve(place_ring(5))
+        assert timings[0].static_delay_ps == pytest.approx(266.0)
+
+    def test_with_supply_shares_device(self, board):
+        hot = board.with_supply(SupplySpec(voltage_v=1.4))
+        assert hot.variation is board.variation
+        assert hot.supply.voltage_v == 1.4
+        assert hot.resolve(place_ring(5))[0].static_delay_ps < 266.0
+
+    def test_resolve_with_charlie(self, board):
+        timings = board.resolve(place_ring(96), with_charlie=True)
+        assert all(t.charlie_ps > 0 for t in timings)
+
+    def test_clean_supply_modulation_is_identity(self, board):
+        modulation = board.supply_modulation()
+        assert isinstance(modulation, ConstantModulation)
+        assert modulation.factor(1e6) == 0.0
+
+    def test_ripple_becomes_sinusoidal_modulation(self):
+        board = Board(supply=SupplySpec(ripple_fraction=0.01, ripple_period_ps=5e5))
+        modulation = board.supply_modulation()
+        assert isinstance(modulation, SinusoidalModulation)
+        assert modulation.period_ps == 5e5
+        # amplitude = beta * dV = 1.245 * 0.01 * 1.2
+        assert modulation.amplitude == pytest.approx(1.245 * 0.012)
+
+
+class TestBoardBank:
+    def test_manufacture_count_and_names(self, bank):
+        assert len(bank) == 5
+        assert [b.name for b in bank] == [f"board {i}" for i in range(1, 6)]
+
+    def test_devices_differ(self, bank):
+        factors = [b.variation.global_factor for b in bank]
+        assert len(set(factors)) == len(factors)
+
+    def test_manufacture_deterministic(self):
+        a = BoardBank.manufacture(3, seed=9)
+        b = BoardBank.manufacture(3, seed=9)
+        assert np.allclose(
+            [x.variation.global_factor for x in a],
+            [x.variation.global_factor for x in b],
+        )
+
+    def test_same_bitstream_different_frequencies(self, bank):
+        from repro.rings.iro import InverterRingOscillator
+
+        frequencies = [
+            InverterRingOscillator.on_board(b, 5).predicted_frequency_mhz() for b in bank
+        ]
+        assert len(set(round(f, 6) for f in frequencies)) == len(frequencies)
+
+    def test_indexing_and_iteration(self, bank):
+        assert bank[0] is list(iter(bank))[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BoardBank(boards=())
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            BoardBank.manufacture(0)

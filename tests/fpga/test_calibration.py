@@ -1,0 +1,144 @@
+"""Calibration against Tables I and II."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.calibration import (
+    STR_ANCHOR_LENGTHS,
+    TABLE1_TARGETS,
+    TABLE2_TARGETS,
+    ConfinementModel,
+    cyclone_iii_calibration,
+    fit_confinement_from_table1,
+    mean_route_delay_ps,
+    summarize_calibration,
+)
+from repro.fpga.device import TimingConstants
+from repro.units import mhz_to_period_ps
+
+
+class TestTargets:
+    def test_table1_has_all_rings(self):
+        kinds = [(row.kind, row.stage_count) for row in TABLE1_TARGETS]
+        assert ("iro", 5) in kinds and ("str", 96) in kinds
+        assert len(kinds) == 8
+
+    def test_table2_board_counts(self):
+        for row in TABLE2_TARGETS:
+            assert len(row.board_frequencies_mhz) == 5
+
+    def test_table2_sigma_consistent_with_frequencies(self):
+        # The published sigma_rel values match the published frequencies
+        # to within rounding.
+        for row in TABLE2_TARGETS:
+            freqs = np.asarray(row.board_frequencies_mhz)
+            sigma_rel = float(np.std(freqs, ddof=1) / np.mean(freqs))
+            assert sigma_rel == pytest.approx(row.sigma_rel, abs=0.0015)
+
+
+class TestConfinementModel:
+    def test_interpolates_between_anchors(self):
+        model = ConfinementModel([4, 96], [100.0, 500.0], [1.0, 0.5])
+        assert model.penalty_ps(50) == pytest.approx(300.0)
+        assert model.beta_per_volt(50) == pytest.approx(0.75)
+
+    def test_clamps_outside_anchors(self):
+        model = ConfinementModel([4, 96], [100.0, 500.0], [1.0, 0.5])
+        assert model.penalty_ps(3) == 100.0
+        assert model.penalty_ps(200) == 500.0
+
+    def test_rejects_mismatched_anchors(self):
+        with pytest.raises(ValueError):
+            ConfinementModel([4, 96], [100.0], [1.0, 0.5])
+
+    def test_rejects_unsorted_lengths(self):
+        with pytest.raises(ValueError):
+            ConfinementModel([96, 4], [1.0, 2.0], [1.0, 1.0])
+
+    def test_rejects_tiny_rings(self):
+        model = ConfinementModel([4], [100.0], [1.0])
+        with pytest.raises(ValueError):
+            model.penalty_ps(2)
+
+    def test_provider_adapter(self):
+        model = ConfinementModel([4], [100.0], [0.9])
+        magnitude, sensitivity = model.provider()(4)
+        assert magnitude == 100.0
+        assert sensitivity.beta_per_volt == 0.9
+
+
+class TestFit:
+    def test_penalty_increases_with_length(self, calibration):
+        penalties = [
+            calibration.confinement.penalty_ps(length) for length in STR_ANCHOR_LENGTHS
+        ]
+        assert penalties == sorted(penalties)
+
+    def test_beta_decreases_with_length(self, calibration):
+        # Table I has equal excursions for L = 48 and 64, so the fitted
+        # beta is not strictly monotone; the overall trend must still be
+        # downward (the confinement makes the penalty less supply-driven).
+        betas = [
+            calibration.confinement.beta_per_volt(length) for length in STR_ANCHOR_LENGTHS
+        ]
+        assert betas[0] == max(betas)
+        assert betas[-1] == min(betas)
+        assert betas[0] - betas[-1] > 0.3
+
+    def test_fit_reproduces_str_frequencies(self, calibration):
+        constants = calibration.constants
+        for row in TABLE1_TARGETS:
+            if row.kind != "str":
+                continue
+            hop = (
+                constants.lut_delay_ps
+                + mean_route_delay_ps(constants, row.stage_count)
+                + calibration.confinement.penalty_ps(row.stage_count)
+            )
+            frequency = 1e6 / (4.0 * hop)
+            assert frequency == pytest.approx(row.nominal_frequency_mhz, rel=1e-6)
+
+    def test_fit_is_deterministic(self):
+        first = fit_confinement_from_table1()
+        second = fit_confinement_from_table1()
+        assert np.allclose(
+            [first.penalty_ps(length) for length in STR_ANCHOR_LENGTHS],
+            [second.penalty_ps(length) for length in STR_ANCHOR_LENGTHS],
+        )
+
+    def test_iro5_frequency_prediction(self, calibration):
+        constants = calibration.constants
+        period = 2.0 * 5 * (constants.lut_delay_ps + constants.intra_lab_route_ps)
+        target = next(r for r in TABLE1_TARGETS if r.kind == "iro" and r.stage_count == 5)
+        assert 1e6 / period == pytest.approx(target.nominal_frequency_mhz, rel=0.01)
+
+    def test_bad_constants_raise(self):
+        constants = TimingConstants(lut_delay_ps=400.0)  # slower than STR 4C allows
+        with pytest.raises(RuntimeError, match="non-positive"):
+            fit_confinement_from_table1(constants)
+
+
+class TestCalibrationObject:
+    def test_cached_singleton(self):
+        assert cyclone_iii_calibration() is cyclone_iii_calibration()
+
+    def test_summary_keys(self, calibration):
+        summary = summarize_calibration(calibration)
+        assert "lut_delay_ps" in summary
+        assert f"charlie_penalty_ps_L{STR_ANCHOR_LENGTHS[-1]}" in summary
+
+    def test_timing_model_has_provider(self, calibration):
+        model = calibration.timing_model()
+        from repro.fpga.placement import place_ring
+
+        timings = model.stage_timings(place_ring(96), with_charlie=True)
+        assert timings[0].charlie_ps > 0.0
+
+
+class TestMeanRouteDelay:
+    def test_single_lab(self, calibration):
+        assert mean_route_delay_ps(calibration.constants, 5) == pytest.approx(66.0)
+
+    def test_multi_lab_average(self, calibration):
+        value = mean_route_delay_ps(calibration.constants, 24)
+        assert value == pytest.approx((22 * 66.0 + 2 * 161.0) / 24)

@@ -1,0 +1,118 @@
+"""Floorplan-aware placement."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.floorplan import (
+    FloorplanPlacement,
+    LabGrid,
+    PlacementStrategy,
+    place_on_grid,
+    routed_stage_delays,
+)
+
+
+class TestLabGrid:
+    def test_counts(self):
+        grid = LabGrid(columns=4, rows=3, lab_capacity=16)
+        assert grid.lab_count == 12
+        assert grid.lut_count == 192
+
+    def test_positions_column_major(self):
+        grid = LabGrid(columns=4, rows=3)
+        assert grid.lab_position(0) == (0, 0)
+        assert grid.lab_position(2) == (0, 2)
+        assert grid.lab_position(3) == (1, 0)
+
+    def test_manhattan_distance(self):
+        grid = LabGrid(columns=4, rows=3)
+        assert grid.manhattan_distance(0, 0) == 0
+        assert grid.manhattan_distance(0, 1) == 1
+        assert grid.manhattan_distance(0, 4) == 2  # (0,0) -> (1,1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabGrid(columns=0, rows=1)
+        with pytest.raises(ValueError):
+            LabGrid().lab_position(64)
+
+
+class TestPlaceOnGrid:
+    def test_compact_fills_adjacent_labs(self):
+        placement = place_on_grid(40, LabGrid(), PlacementStrategy.COMPACT)
+        assert placement.lab_count == 3
+        assert set(placement.lab_indices) == {0, 1, 2}
+        # Adjacent LAB indices in column-major order are grid neighbours.
+        assert max(placement.hop_distances()) <= 2
+
+    def test_single_lab_ring_zero_wirelength(self):
+        placement = place_on_grid(10, LabGrid(), PlacementStrategy.COMPACT)
+        assert placement.total_wirelength() == 0
+
+    def test_scatter_is_seeded(self):
+        a = place_on_grid(40, LabGrid(), PlacementStrategy.SCATTER, seed=1)
+        b = place_on_grid(40, LabGrid(), PlacementStrategy.SCATTER, seed=1)
+        assert a.lab_indices == b.lab_indices
+
+    def test_scatter_longer_than_compact(self):
+        compact = place_on_grid(40, LabGrid(), PlacementStrategy.COMPACT)
+        scatter = place_on_grid(40, LabGrid(), PlacementStrategy.SCATTER, seed=2)
+        assert scatter.total_wirelength() > compact.total_wirelength()
+
+    def test_row_strategy_uses_first_row(self):
+        grid = LabGrid(columns=8, rows=8)
+        placement = place_on_grid(40, grid, PlacementStrategy.ROW)
+        assert all(grid.lab_position(lab)[1] == 0 for lab in set(placement.lab_indices))
+
+    def test_row_overflow_rejected(self):
+        grid = LabGrid(columns=2, rows=8)
+        with pytest.raises(ValueError, match="single LAB row"):
+            place_on_grid(40, grid, PlacementStrategy.ROW)
+
+    def test_capacity_enforced(self):
+        grid = LabGrid(columns=1, rows=1, lab_capacity=16)
+        with pytest.raises(ValueError):
+            place_on_grid(17, grid)
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            FloorplanPlacement(
+                grid=LabGrid(lab_capacity=2),
+                lab_indices=(0, 0, 0),
+                strategy=PlacementStrategy.COMPACT,
+            )
+
+
+class TestRoutedDelays:
+    def test_intra_lab_baseline(self):
+        placement = place_on_grid(8, LabGrid())
+        delays = routed_stage_delays(placement)
+        assert np.allclose(delays, 266.0)
+
+    def test_distance_one_matches_two_class_model(self):
+        placement = place_on_grid(20, LabGrid())  # adjacent LABs
+        delays = routed_stage_delays(placement)
+        assert set(np.round(delays, 3)) <= {266.0, 361.0, 361.0 + 35.0}
+
+    def test_distance_surcharge(self):
+        grid = LabGrid(columns=8, rows=1)
+        placement = FloorplanPlacement(
+            grid=grid, lab_indices=(0,) * 8 + (5,) * 8, strategy=PlacementStrategy.COMPACT
+        )
+        delays = routed_stage_delays(placement, per_hop_distance_ps=35.0)
+        # Two inter-LAB hops of distance 5: base + 4 extra steps.
+        long_hops = [d for d in delays if d > 300.0]
+        assert len(long_hops) == 2
+        assert long_hops[0] == pytest.approx(200.0 + 161.0 + 4 * 35.0)
+
+    def test_feeds_ring_model(self):
+        from repro.rings.iro import InverterRingOscillator
+
+        placement = place_on_grid(9, LabGrid())
+        ring = InverterRingOscillator(routed_stage_delays(placement))
+        assert ring.predicted_frequency_mhz() > 0
+
+    def test_validation(self):
+        placement = place_on_grid(8, LabGrid())
+        with pytest.raises(ValueError):
+            routed_stage_delays(placement, lut_delay_ps=-1.0)

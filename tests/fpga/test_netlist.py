@@ -1,0 +1,156 @@
+"""Structural netlists."""
+
+import pytest
+
+from repro.fpga.netlist import (
+    Bitstream,
+    Cell,
+    CellFunction,
+    Net,
+    Netlist,
+    NetlistError,
+    inverting_stage_count,
+    iro_netlist,
+    ring_order,
+    str_netlist,
+)
+
+
+class TestCellFunction:
+    def test_pins(self):
+        assert CellFunction.INVERTER.input_pins == ("in",)
+        assert CellFunction.MULLER_INV.input_pins == ("forward", "reverse")
+
+    def test_inversion(self):
+        assert CellFunction.INVERTER.is_inverting
+        assert CellFunction.MULLER_INV.is_inverting
+        assert not CellFunction.BUFFER.is_inverting
+
+
+class TestGenerators:
+    def test_iro_structure(self):
+        netlist = iro_netlist(5)
+        assert netlist.cell_count == 5
+        assert inverting_stage_count(netlist) == 1
+        assert len(netlist.nets) == 5
+
+    def test_iro_ring_order(self):
+        netlist = iro_netlist(5)
+        order = netlist.validate_single_ring()
+        assert len(order) == 5
+        assert order[0] == "iro_s0"
+
+    def test_str_structure(self):
+        netlist = str_netlist(8)
+        assert netlist.cell_count == 8
+        assert len(netlist.nets) == 16  # forward + reverse per stage
+        assert inverting_stage_count(netlist) == 8
+
+    def test_str_ring_order(self):
+        order = str_netlist(6).validate_single_ring()
+        assert order == [f"str_s{i}" for i in range(6)]
+
+    @pytest.mark.parametrize("generator", [iro_netlist, str_netlist])
+    def test_minimum_size(self, generator):
+        with pytest.raises(NetlistError):
+            generator(2)
+
+
+class TestValidation:
+    def test_duplicate_cell(self):
+        cells = [Cell("a", CellFunction.INVERTER)] * 2 + [Cell("b", CellFunction.BUFFER)]
+        with pytest.raises(NetlistError, match="duplicate"):
+            Netlist(cells, [])
+
+    def test_undriven_pin(self):
+        cells = [
+            Cell("a", CellFunction.INVERTER),
+            Cell("b", CellFunction.BUFFER),
+            Cell("c", CellFunction.BUFFER),
+        ]
+        nets = [Net("a", "b", "in"), Net("b", "c", "in")]  # a.in undriven
+        with pytest.raises(NetlistError, match="undriven"):
+            Netlist(cells, nets)
+
+    def test_double_driven_pin(self):
+        cells = [
+            Cell("a", CellFunction.INVERTER),
+            Cell("b", CellFunction.BUFFER),
+            Cell("c", CellFunction.BUFFER),
+        ]
+        nets = [
+            Net("a", "b", "in"),
+            Net("c", "b", "in"),
+            Net("b", "c", "in"),
+            Net("b", "a", "in"),
+        ]
+        with pytest.raises(NetlistError, match="driven by both"):
+            Netlist(cells, nets)
+
+    def test_unknown_pin(self):
+        cells = [
+            Cell("a", CellFunction.INVERTER),
+            Cell("b", CellFunction.BUFFER),
+            Cell("c", CellFunction.BUFFER),
+        ]
+        nets = [Net("a", "b", "reverse")]
+        with pytest.raises(NetlistError, match="no pin"):
+            Netlist(cells, nets)
+
+    def test_unknown_cells(self):
+        cells = [
+            Cell("a", CellFunction.BUFFER),
+            Cell("b", CellFunction.BUFFER),
+            Cell("c", CellFunction.BUFFER),
+        ]
+        with pytest.raises(NetlistError, match="not a cell"):
+            Netlist(cells, [Net("ghost", "a", "in")])
+
+    def test_broken_ring_detected(self):
+        # Two separate loops instead of one ring of four.
+        cells = [Cell(f"s{i}", CellFunction.BUFFER) for i in range(4)]
+        nets = [
+            Net("s0", "s1", "in"),
+            Net("s1", "s0", "in"),
+            Net("s2", "s3", "in"),
+            Net("s3", "s2", "in"),
+        ]
+        netlist = Netlist(cells, nets)
+        with pytest.raises(NetlistError, match="not a single ring"):
+            netlist.validate_single_ring()
+
+    def test_ring_order_utility(self):
+        assert len(ring_order(iro_netlist(7))) == 7
+
+
+class TestBitstream:
+    def test_iro_realization(self, board):
+        bitstream = Bitstream(iro_netlist(5))
+        ring = bitstream.realize(board)
+        assert ring.predicted_frequency_mhz() == pytest.approx(376.0, rel=0.01)
+
+    def test_str_realization(self, board):
+        bitstream = Bitstream(str_netlist(96))
+        ring = bitstream.realize(board)
+        assert ring.predicted_frequency_mhz() == pytest.approx(320.0, rel=0.01)
+
+    def test_placement_respects_first_lut(self):
+        bitstream = Bitstream(iro_netlist(4), first_lut=14)
+        placement = bitstream.placement()
+        assert placement.lab_count == 2
+
+    def test_even_inverter_netlist_rejected(self, board):
+        cells = [
+            Cell("a", CellFunction.INVERTER),
+            Cell("b", CellFunction.INVERTER),
+            Cell("c", CellFunction.BUFFER),
+        ]
+        nets = [Net("a", "b", "in"), Net("b", "c", "in"), Net("c", "a", "in")]
+        netlist = Netlist(cells, nets)
+        with pytest.raises(NetlistError, match="odd number"):
+            Bitstream(netlist).realize(board)
+
+    def test_same_bitstream_across_bank(self, bank):
+        bitstream = Bitstream(str_netlist(96))
+        frequencies = {bitstream.realize(b).predicted_frequency_mhz() for b in bank}
+        assert len(frequencies) == len(bank)  # same design, different silicon

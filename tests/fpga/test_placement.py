@@ -1,0 +1,77 @@
+"""Ring placement policy."""
+
+import pytest
+
+from repro.fpga.placement import Placement, RoutingClass, lab_span, place_ring
+
+
+class TestPlaceRing:
+    def test_single_lab_ring(self):
+        placement = place_ring(5, lab_capacity=16)
+        assert placement.stage_count == 5
+        assert placement.is_single_lab()
+        assert placement.inter_lab_hop_count == 0
+
+    def test_exactly_full_lab(self):
+        placement = place_ring(16, lab_capacity=16)
+        assert placement.is_single_lab()
+        assert placement.inter_lab_hop_count == 0
+
+    @pytest.mark.parametrize(
+        "stage_count,expected_inter",
+        [(17, 2), (24, 2), (48, 3), (80, 5), (96, 6)],
+    )
+    def test_inter_lab_hops_match_lab_span(self, stage_count, expected_inter):
+        placement = place_ring(stage_count, lab_capacity=16)
+        assert placement.inter_lab_hop_count == expected_inter
+        assert placement.lab_count == lab_span(stage_count, 16)
+
+    def test_wrap_hop_counted(self):
+        placement = place_ring(24, lab_capacity=16)
+        # The last hop closes the ring from LAB 1 back to LAB 0.
+        assert placement.hop_classes[-1] is RoutingClass.INTER_LAB
+
+    def test_first_lut_offsets_lab_assignment(self):
+        placement = place_ring(4, lab_capacity=16, first_lut=14)
+        # LUTs 14..17 straddle the LAB 0 / LAB 1 boundary.
+        assert placement.lab_count == 2
+        assert placement.inter_lab_hop_count == 2
+
+    def test_lut_indices_sequential(self):
+        placement = place_ring(6, first_lut=10)
+        assert placement.lut_indices == tuple(range(10, 16))
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"stage_count": 0},
+        {"stage_count": 4, "lab_capacity": 0},
+        {"stage_count": 4, "first_lut": -1},
+    ])
+    def test_validation(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            place_ring(**bad_kwargs)
+
+
+class TestPlacementInvariants:
+    def test_arrays_must_align(self):
+        with pytest.raises(ValueError):
+            Placement(
+                lut_indices=(0, 1),
+                lab_indices=(0,),
+                hop_classes=(RoutingClass.INTRA_LAB,),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(lut_indices=(), lab_indices=(), hop_classes=())
+
+
+class TestLabSpan:
+    @pytest.mark.parametrize(
+        "stages,expected", [(1, 1), (16, 1), (17, 2), (32, 2), (96, 6)]
+    )
+    def test_span(self, stages, expected):
+        assert lab_span(stages, 16) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lab_span(0)

@@ -1,0 +1,67 @@
+"""Process variability models."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.process import DeviceVariation, ProcessVariation
+
+
+class TestDeviceVariation:
+    def test_nominal(self):
+        device = DeviceVariation.nominal(8)
+        assert device.global_factor == 1.0
+        assert device.lut_count == 8
+        assert np.all(device.stage_factors() == 1.0)
+
+    def test_stage_factor_combines_layers(self):
+        device = DeviceVariation(global_factor=1.1, lut_factors=np.array([0.9, 1.0, 1.2]))
+        assert device.stage_factor(0) == pytest.approx(0.99)
+        assert device.stage_factor(2) == pytest.approx(1.32)
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ValueError):
+            DeviceVariation(global_factor=0.0, lut_factors=np.ones(3))
+        with pytest.raises(ValueError):
+            DeviceVariation(global_factor=1.0, lut_factors=np.array([1.0, -0.1]))
+
+
+class TestProcessVariation:
+    def test_none_is_exact(self):
+        device = ProcessVariation.none().sample_device(16, seed=0)
+        assert device.global_factor == 1.0
+        assert np.all(np.asarray(device.lut_factors) == 1.0)
+
+    def test_sampling_statistics(self):
+        process = ProcessVariation(global_sigma_rel=0.01, local_sigma_rel=0.05)
+        rng = np.random.default_rng(0)
+        globals_ = [process.sample_device(4, seed=rng).global_factor for _ in range(4000)]
+        assert np.mean(globals_) == pytest.approx(1.0, abs=0.002)
+        assert np.std(globals_) == pytest.approx(0.01, rel=0.1)
+
+    def test_local_statistics(self):
+        process = ProcessVariation(global_sigma_rel=0.0, local_sigma_rel=0.02)
+        device = process.sample_device(50_000, seed=1)
+        assert np.std(np.asarray(device.lut_factors)) == pytest.approx(0.02, rel=0.05)
+
+    def test_factors_always_positive(self):
+        process = ProcessVariation(global_sigma_rel=0.4, local_sigma_rel=0.4)
+        device = process.sample_device(10_000, seed=2)
+        assert device.global_factor > 0.0
+        assert np.all(np.asarray(device.lut_factors) > 0.0)
+
+    def test_determinism(self):
+        process = ProcessVariation(0.01, 0.02)
+        a = process.sample_device(16, seed=7)
+        b = process.sample_device(16, seed=7)
+        assert a.global_factor == b.global_factor
+        assert np.allclose(a.lut_factors, b.lut_factors)
+
+    def test_rejects_bad_lut_count(self):
+        with pytest.raises(ValueError):
+            ProcessVariation(0.01, 0.01).sample_device(0)
+
+    def test_rejects_negative_sigmas(self):
+        with pytest.raises(ValueError):
+            ProcessVariation(-0.01, 0.01)
+        with pytest.raises(ValueError):
+            ProcessVariation(0.01, -0.01)

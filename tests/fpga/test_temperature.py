@@ -1,0 +1,80 @@
+"""Temperature axis of the device model."""
+
+import pytest
+
+from repro.fpga.board import Board
+from repro.fpga.device import DeviceTimingModel
+from repro.fpga.placement import place_ring
+from repro.fpga.voltage import SupplySpec, TemperatureSensitivity
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+
+
+class TestTemperatureSensitivity:
+    def test_nominal_is_identity(self):
+        assert TemperatureSensitivity(8e-4).delay_factor(25.0) == pytest.approx(1.0)
+
+    def test_heat_slows(self):
+        sensitivity = TemperatureSensitivity(8e-4)
+        assert sensitivity.delay_factor(85.0) == pytest.approx(1.0 + 8e-4 * 60.0)
+
+    def test_cold_speeds_up(self):
+        assert TemperatureSensitivity(8e-4).delay_factor(0.0) < 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            TemperatureSensitivity(0.1).delay_factor(-2000.0)
+
+
+class TestSupplySpecTemperature:
+    def test_default_is_25c(self):
+        assert SupplySpec().temperature_c == 25.0
+
+    @pytest.mark.parametrize("bad", [-100.0, 200.0])
+    def test_range_validation(self, bad):
+        with pytest.raises(ValueError):
+            SupplySpec(temperature_c=bad)
+
+
+class TestDeviceTemperature:
+    def test_hot_device_is_slower(self):
+        model = DeviceTimingModel()
+        placement = place_ring(5)
+        cold = model.stage_timings(placement, temperature_c=0.0)
+        hot = model.stage_timings(placement, temperature_c=85.0)
+        assert hot[0].static_delay_ps > cold[0].static_delay_ps
+
+    def test_interconnect_responds_less(self):
+        model = DeviceTimingModel()
+        placement = place_ring(5)
+        nominal = model.stage_timings(placement, temperature_c=25.0)[0]
+        hot = model.stage_timings(placement, temperature_c=85.0)[0]
+        lut_ratio = hot.lut_delay_ps / nominal.lut_delay_ps
+        route_ratio = hot.routing_delay_ps / nominal.routing_delay_ps
+        assert route_ratio < lut_ratio
+
+    def test_board_threads_temperature(self):
+        hot_board = Board(supply=SupplySpec(temperature_c=85.0))
+        cold_board = Board(supply=SupplySpec(temperature_c=0.0))
+        hot = InverterRingOscillator.on_board(hot_board, 5)
+        cold = InverterRingOscillator.on_board(cold_board, 5)
+        assert hot.predicted_frequency_mhz() < cold.predicted_frequency_mhz()
+
+    def test_str96_less_temperature_sensitive_than_iro(self):
+        def drift(builder):
+            f = {}
+            for temperature in (0.0, 85.0):
+                board = Board(supply=SupplySpec(temperature_c=temperature))
+                f[temperature] = builder(board).predicted_frequency_mhz()
+            return (f[0.0] - f[85.0]) / f[0.0]
+
+        iro_drift = drift(lambda b: InverterRingOscillator.on_board(b, 5))
+        str_drift = drift(lambda b: SelfTimedRing.on_board(b, 96))
+        assert str_drift < iro_drift
+
+    def test_voltage_and_temperature_compose(self):
+        board = Board(supply=SupplySpec(voltage_v=1.4, temperature_c=0.0))
+        fast = InverterRingOscillator.on_board(board, 5)
+        nominal = InverterRingOscillator.on_board(Board(), 5)
+        # Overvolted AND cold: fastest corner.
+        assert fast.predicted_frequency_mhz() > 1.2 * nominal.predicted_frequency_mhz()

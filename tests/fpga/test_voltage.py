@@ -1,0 +1,67 @@
+"""Voltage-to-delay laws."""
+
+import pytest
+
+from repro.fpga.voltage import (
+    MAX_SWEEP_VOLTAGE,
+    MIN_SWEEP_VOLTAGE,
+    NOMINAL_CORE_VOLTAGE,
+    SupplySpec,
+    VoltageSensitivity,
+)
+
+
+class TestVoltageSensitivity:
+    def test_nominal_is_identity(self):
+        sensitivity = VoltageSensitivity(1.245)
+        assert sensitivity.speedup(NOMINAL_CORE_VOLTAGE) == pytest.approx(1.0)
+        assert sensitivity.delay_factor(NOMINAL_CORE_VOLTAGE) == pytest.approx(1.0)
+
+    def test_overvolt_speeds_up(self):
+        sensitivity = VoltageSensitivity(1.0)
+        assert sensitivity.speedup(1.4) == pytest.approx(1.2)
+        assert sensitivity.delay_factor(1.4) == pytest.approx(1.0 / 1.2)
+
+    def test_undervolt_slows_down(self):
+        sensitivity = VoltageSensitivity(1.0)
+        assert sensitivity.delay_factor(1.0) > 1.0
+
+    def test_normalized_excursion_is_04_beta(self):
+        # A single-component ring has delta F = 0.4 * beta exactly.
+        beta = 1.225
+        sensitivity = VoltageSensitivity(beta)
+        f_max = sensitivity.speedup(MAX_SWEEP_VOLTAGE)
+        f_min = sensitivity.speedup(MIN_SWEEP_VOLTAGE)
+        f_nom = sensitivity.speedup(NOMINAL_CORE_VOLTAGE)
+        assert (f_max - f_min) / f_nom == pytest.approx(0.4 * beta)
+
+    def test_out_of_range_voltage_raises(self):
+        sensitivity = VoltageSensitivity(5.0)
+        with pytest.raises(ValueError):
+            sensitivity.speedup(0.9)
+
+    def test_rejects_nonpositive_nominal(self):
+        with pytest.raises(ValueError):
+            VoltageSensitivity(1.0, nominal_v=0.0)
+
+
+class TestSupplySpec:
+    def test_defaults(self):
+        spec = SupplySpec()
+        assert spec.voltage_v == NOMINAL_CORE_VOLTAGE
+        assert not spec.has_ripple
+
+    def test_ripple_flag(self):
+        assert SupplySpec(ripple_fraction=0.01).has_ripple
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"voltage_v": 0.0},
+            {"ripple_fraction": -0.1},
+            {"ripple_period_ps": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SupplySpec(**kwargs)

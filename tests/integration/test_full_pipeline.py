@@ -1,0 +1,73 @@
+"""End-to-end pipeline: netlist -> bitstream -> board -> ring -> TRNG -> verdict.
+
+One test per stage boundary of the full stack, plus a single test that
+walks the entire chain the way a downstream user would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fpga.board import BoardBank
+from repro.fpga.netlist import Bitstream, str_netlist
+from repro.rings.modes import OscillationMode, classify_trace
+from repro.stats.randomness import run_battery
+from repro.trng.assessment import assess_min_entropy
+from repro.trng.health import HealthMonitor
+from repro.trng.phasewalk import PhaseWalkTrng, reference_period_for_q
+
+
+class TestFullPipeline:
+    def test_netlist_to_verdict(self, bank):
+        # 1. design: a structural STR netlist, validated.
+        netlist = str_netlist(96)
+        assert netlist.validate_single_ring()
+
+        # 2. bitstream: design + placement, sent to a manufactured board.
+        bitstream = Bitstream(netlist)
+        ring = bitstream.realize(bank[0])
+        assert ring.token_count == 48
+
+        # 3. silicon behaviour: the ring oscillates evenly spaced.
+        result = ring.simulate(384, seed=9, warmup_periods=64)
+        assert classify_trace(result.trace).mode is OscillationMode.EVENLY_SPACED
+
+        # 4. characterization: jitter figure for provisioning.
+        sigma = result.trace.period_jitter_ps()
+        assert 2.0 < sigma < 5.0
+
+        # 5. TRNG: provision, generate, and judge.
+        period = ring.predicted_period_ps()
+        trng = PhaseWalkTrng(
+            period, sigma, ring.mean_supply_weight,
+            reference_period_for_q(period, sigma, 0.25),
+        )
+        bits = trng.generate(30_000, seed=10)
+        assert run_battery(bits).all_passed
+        assert assess_min_entropy(bits).min_entropy > 0.7
+        assert HealthMonitor(claimed_min_entropy=0.9).check_block(bits)
+
+    def test_same_bitstream_family_dispersion(self, bank):
+        """The Table II workflow, through the netlist layer."""
+        bitstream = Bitstream(str_netlist(96))
+        frequencies = np.array(
+            [bitstream.realize(board).predicted_frequency_mhz() for board in bank]
+        )
+        sigma_rel = float(np.std(frequencies) / np.mean(frequencies))
+        assert 0.0002 < sigma_rel < 0.01
+
+    def test_fresh_bank_reproduces_conclusions(self):
+        """A brand-new family draw still yields the paper's verdicts."""
+        from repro.core.campaign import RingSpec, run_campaign
+
+        bank = BoardBank.manufacture(board_count=5, seed=4242)
+        report = run_campaign(
+            [RingSpec("iro", 5), RingSpec("str", 96)],
+            bank=bank,
+            jitter_periods=768,
+            seed=5,
+        )
+        iro = report.result_for("IRO 5C")
+        str_ = report.result_for("STR 96C")
+        assert str_.delta_f < iro.delta_f
+        assert str_.sigma_rel < iro.sigma_rel
+        assert str_.period_jitter_ps < iro.period_jitter_ps

@@ -1,0 +1,119 @@
+"""Golden regression tests.
+
+Pin the calibrated model's key outputs to their current values so an
+accidental change to the timing model, the fit, or the simulators shows
+up as a loud, specific failure rather than a silent drift in every
+experiment.  Tolerances are tight where the value is deterministic
+(analytical layer) and loose-but-bounded where it is statistical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fpga.board import Board
+from repro.fpga.calibration import cyclone_iii_calibration
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+
+
+class TestCalibrationGoldens:
+    def test_timing_constants(self, calibration):
+        constants = calibration.constants
+        assert constants.lut_delay_ps == 200.0
+        assert constants.intra_lab_route_ps == 66.0
+        assert constants.inter_lab_route_ps == 161.0
+        assert constants.gate_jitter_sigma_ps == 2.0
+        assert constants.transistor_sensitivity.beta_per_volt == 1.245
+
+    def test_confinement_anchors(self, calibration):
+        confinement = calibration.confinement
+        assert confinement.penalty_ps(4) == pytest.approx(116.85, abs=0.5)
+        assert confinement.penalty_ps(24) == pytest.approx(303.45, abs=0.5)
+        assert confinement.penalty_ps(96) == pytest.approx(509.31, abs=0.5)
+        assert confinement.beta_per_volt(4) == pytest.approx(1.331, abs=0.01)
+        assert confinement.beta_per_volt(96) == pytest.approx(0.769, abs=0.01)
+
+    def test_process_sigmas(self, calibration):
+        assert calibration.process.global_sigma_rel == pytest.approx(0.00157)
+        assert calibration.process.local_sigma_rel == pytest.approx(0.0178)
+
+
+class TestAnalyticalGoldens:
+    @pytest.mark.parametrize(
+        "stages,frequency",
+        [(3, 626.57), (5, 375.94), (25, 73.10), (80, 22.98)],
+    )
+    def test_iro_frequencies(self, board, stages, frequency):
+        ring = InverterRingOscillator.on_board(board, stages)
+        assert ring.predicted_frequency_mhz() == pytest.approx(frequency, abs=0.02)
+
+    @pytest.mark.parametrize(
+        "stages,frequency",
+        [(4, 653.0), (24, 433.0), (48, 408.0), (64, 369.0), (96, 320.0)],
+    )
+    def test_str_frequencies(self, board, stages, frequency):
+        ring = SelfTimedRing.on_board(board, stages)
+        assert ring.predicted_frequency_mhz() == pytest.approx(frequency, abs=0.02)
+
+    def test_supply_weights(self, board):
+        assert InverterRingOscillator.on_board(board, 5).mean_supply_weight == pytest.approx(
+            0.975, abs=0.002
+        )
+        assert SelfTimedRing.on_board(board, 96).mean_supply_weight == pytest.approx(
+            0.741, abs=0.002
+        )
+
+    def test_predicted_jitters(self, board):
+        assert InverterRingOscillator.on_board(board, 5).predicted_period_jitter_ps() == (
+            pytest.approx(6.325, abs=0.01)
+        )
+        assert SelfTimedRing.on_board(board, 96).predicted_period_jitter_ps() == (
+            pytest.approx(2.828, abs=0.01)
+        )
+
+
+class TestSimulationGoldens:
+    """Seeded statistical outputs, pinned with generous-but-real bounds."""
+
+    def test_iro5_simulated_jitter(self, board):
+        sigma = (
+            InverterRingOscillator.on_board(board, 5)
+            .simulate(2048, seed=1)
+            .trace.period_jitter_ps()
+        )
+        assert sigma == pytest.approx(6.14, abs=0.6)
+
+    def test_str96_simulated_jitter(self, board):
+        sigma = (
+            SelfTimedRing.on_board(board, 96)
+            .simulate(1024, seed=1)
+            .trace.period_jitter_ps()
+        )
+        assert sigma == pytest.approx(3.3, abs=0.5)
+
+    def test_str96_simulated_frequency(self, board):
+        frequency = (
+            SelfTimedRing.on_board(board, 96)
+            .simulate(256, seed=1)
+            .trace.mean_frequency_mhz()
+        )
+        # Convexity of the Charlie bottom costs ~0.4 % against the
+        # noise-free prediction.
+        assert frequency == pytest.approx(318.7, abs=1.5)
+
+    def test_exact_seeded_trace_prefix(self, board):
+        """Full determinism: the first edges of a seeded run never change."""
+        trace = InverterRingOscillator.on_board(board, 3).simulate(
+            4, seed=42, warmup_periods=0
+        ).warmup_trace
+        expected_first = 798.0304  # first edge of the seed-42 run, ps
+        assert trace.times_ps[0] == pytest.approx(expected_first, abs=0.01)
+
+
+class TestDispersionGoldens:
+    def test_bank_seed_123_frequencies(self, bank):
+        frequencies = [
+            InverterRingOscillator.on_board(b, 5).predicted_frequency_mhz() for b in bank
+        ]
+        assert np.mean(frequencies) == pytest.approx(376.0, abs=4.0)
+        assert 0.001 < np.std(frequencies) / np.mean(frequencies) < 0.02

@@ -1,0 +1,76 @@
+"""The on-chip ripple divider."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.counters import RippleDivider, divide_periods
+from repro.simulation.waveform import EdgeTrace
+
+
+def square_wave(period_ps=3000.0, cycles=4096, first_value=1):
+    times = np.arange(2 * cycles) * (period_ps / 2.0) + 50.0
+    return EdgeTrace(times, first_value=first_value)
+
+
+class TestDividePeriods:
+    def test_sums_blocks(self):
+        periods = np.arange(1.0, 13.0)
+        assert np.allclose(divide_periods(periods, 4), [10.0, 26.0, 42.0])
+
+    def test_discards_incomplete_tail(self):
+        assert len(divide_periods(np.ones(10), 4)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            divide_periods(np.ones(10), 0)
+        with pytest.raises(ValueError):
+            divide_periods(np.ones(3), 4)
+
+
+class TestRippleDivider:
+    def test_division_ratio(self):
+        divider = RippleDivider(bit_count=5, buffer_jitter_ps=0.0)
+        assert divider.events_per_toggle == 32
+        assert divider.periods_per_measurement == 64
+
+    def test_divided_period(self):
+        divider = RippleDivider(bit_count=4, buffer_jitter_ps=0.0)
+        divided = divider.divide(square_wave(period_ps=1000.0))
+        # Output toggles every 16 rising edges -> full period = 32 us... 32 periods.
+        assert divided.mean_period_ps() == pytest.approx(32_000.0)
+
+    def test_handles_first_value_zero(self):
+        divider = RippleDivider(bit_count=3, buffer_jitter_ps=0.0)
+        divided = divider.divide(square_wave(period_ps=1000.0, first_value=0))
+        assert divided.mean_period_ps() == pytest.approx(16_000.0)
+
+    def test_buffer_jitter_adds_noise(self):
+        clean = RippleDivider(bit_count=4, buffer_jitter_ps=0.0)
+        noisy = RippleDivider(bit_count=4, buffer_jitter_ps=2.0)
+        trace = square_wave(period_ps=1000.0)
+        sigma_clean = np.std(clean.divide(trace, seed=0).periods_ps())
+        sigma_noisy = np.std(noisy.divide(trace, seed=0).periods_ps())
+        assert sigma_clean == pytest.approx(0.0, abs=1e-9)
+        assert sigma_noisy > 1.0
+
+    def test_too_short_trace(self):
+        divider = RippleDivider(bit_count=7)
+        with pytest.raises(ValueError, match="too short"):
+            divider.divide(square_wave(cycles=100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RippleDivider(bit_count=0)
+        with pytest.raises(ValueError):
+            RippleDivider(buffer_jitter_ps=-1.0)
+
+    def test_accumulation_sqrt_law(self):
+        """Variance of divided periods grows ~ linearly with N (iid input)."""
+        rng = np.random.default_rng(0)
+        periods = rng.normal(1000.0, 3.0, size=2**15)
+        times = np.cumsum(np.repeat(periods, 2) / 2.0)
+        trace = EdgeTrace(times)
+        small = RippleDivider(bit_count=3, buffer_jitter_ps=0.0).divide(trace)
+        large = RippleDivider(bit_count=5, buffer_jitter_ps=0.0).divide(trace)
+        ratio = np.var(large.periods_ps()) / np.var(small.periods_ps())
+        assert ratio == pytest.approx(4.0, rel=0.5)

@@ -1,0 +1,98 @@
+"""Reciprocal frequency counter."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.frequency_counter import (
+    FrequencyCounter,
+    FrequencyCounterSpec,
+    FrequencyReading,
+)
+from repro.simulation.waveform import EdgeTrace
+
+
+def square_wave(period_ps=3000.0, cycles=500_000):
+    rising = np.arange(cycles) * period_ps + 10.0
+    falling = rising + period_ps / 2.0
+    times = np.sort(np.concatenate([rising, falling]))
+    return EdgeTrace(times, first_value=1)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = FrequencyCounterSpec()
+        assert spec.gate_time_ps == 1e9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timebase_error_rel": 0.5},
+            {"trigger_jitter_ps": -1.0},
+            {"gate_time_ps": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FrequencyCounterSpec(**kwargs)
+
+
+class TestMeasurement:
+    def test_ideal_counter_exact(self):
+        counter = FrequencyCounter(FrequencyCounterSpec.ideal(), seed=0)
+        reading = counter.measure_trace(square_wave(period_ps=3125.0))
+        assert reading.frequency_mhz == pytest.approx(320.0, rel=1e-5)
+
+    def test_resolution_scales_with_gate(self):
+        short = FrequencyCounterSpec(gate_time_ps=1e8)
+        long = FrequencyCounterSpec(gate_time_ps=1e10)
+        assert FrequencyReading(1.0, 1, short.gate_time_ps).resolution_mhz == pytest.approx(
+            100.0 * FrequencyReading(1.0, 1, long.gate_time_ps).resolution_mhz
+        )
+
+    def test_timebase_error_biases_reading(self):
+        spec = FrequencyCounterSpec(timebase_error_rel=1e-4, trigger_jitter_ps=0.0)
+        counter = FrequencyCounter(spec, seed=0)
+        reading = counter.measure_trace(square_wave(period_ps=3125.0))
+        assert reading.frequency_mhz == pytest.approx(320.0 * (1 - 1e-4), rel=1e-6)
+
+    def test_measure_periods_direct(self):
+        counter = FrequencyCounter(FrequencyCounterSpec.ideal(), seed=0)
+        periods = np.full(550_000, 2000.0)
+        reading = counter.measure_periods(periods)
+        assert reading.frequency_mhz == pytest.approx(500.0, rel=1e-5)
+
+    def test_short_trace_rejected(self):
+        counter = FrequencyCounter(seed=0)
+        with pytest.raises(ValueError, match="gate time"):
+            counter.measure_trace(square_wave(cycles=100))
+
+    def test_cycle_count_reported(self):
+        counter = FrequencyCounter(FrequencyCounterSpec.ideal(), seed=0)
+        reading = counter.measure_trace(square_wave(period_ps=2000.0, cycles=550_000))
+        assert reading.cycles_counted == pytest.approx(500_000, abs=2)
+
+    def test_measure_ring_fast_path(self, board):
+        from repro.rings.iro import InverterRingOscillator
+
+        ring = InverterRingOscillator.on_board(board, 5)
+        spec = FrequencyCounterSpec(gate_time_ps=1e8)  # 0.1 ms: quick
+        counter = FrequencyCounter(spec, seed=1)
+        reading = counter.measure_ring(ring, seed=2)
+        assert reading.frequency_mhz == pytest.approx(
+            ring.predicted_frequency_mhz(), rel=1e-3
+        )
+
+    def test_table2_style_precision(self, bank):
+        """Counter precision suffices to resolve the Table II dispersion."""
+        from repro.rings.iro import InverterRingOscillator
+
+        spec = FrequencyCounterSpec(gate_time_ps=1e8, timebase_error_rel=1e-7)
+        counter = FrequencyCounter(spec, seed=3)
+        readings = [
+            counter.measure_ring(InverterRingOscillator.on_board(b, 3), seed=4)
+            for b in bank
+        ]
+        frequencies = np.array([r.frequency_mhz for r in readings])
+        assert np.std(frequencies) / np.mean(frequencies) > 10 * (
+            spec.timebase_error_rel
+        )

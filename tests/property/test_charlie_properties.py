@@ -1,0 +1,62 @@
+"""Property-based tests of the Charlie timing model."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.charlie import CharlieDiagram, CharlieParameters
+
+positive_delays = st.floats(min_value=1.0, max_value=10_000.0)
+charlie_magnitudes = st.floats(min_value=0.0, max_value=5_000.0)
+separations = st.floats(min_value=-1e6, max_value=1e6)
+instants = st.floats(min_value=-1e7, max_value=1e7)
+
+
+@st.composite
+def diagrams(draw):
+    return CharlieDiagram(
+        CharlieParameters(
+            forward_delay_ps=draw(positive_delays),
+            reverse_delay_ps=draw(positive_delays),
+            charlie_ps=draw(charlie_magnitudes),
+        )
+    )
+
+
+class TestDiagramProperties:
+    @given(diagrams(), separations)
+    def test_delay_above_both_asymptotes(self, diagram, separation):
+        params = diagram.parameters
+        delay = diagram.delay_ps(separation)
+        assert delay >= params.forward_delay_ps + separation - 1e-6
+        assert delay >= params.reverse_delay_ps - separation - 1e-6
+
+    @given(diagrams(), separations)
+    def test_minimum_at_offset(self, diagram, separation):
+        best = diagram.delay_ps(diagram.parameters.separation_offset_ps)
+        assert diagram.delay_ps(separation) >= best - 1e-9
+
+    @given(diagrams(), separations)
+    def test_slope_strictly_inside_unit_interval(self, diagram, separation):
+        assert -1.0 <= diagram.slope(separation) <= 1.0
+
+    @given(diagrams(), separations, separations)
+    def test_monotone_away_from_minimum(self, diagram, a, b):
+        offset = diagram.parameters.separation_offset_ps
+        lo, hi = sorted((a, b))
+        if lo >= offset:
+            assert diagram.delay_ps(hi) >= diagram.delay_ps(lo) - 1e-9
+        if hi <= offset:
+            assert diagram.delay_ps(lo) >= diagram.delay_ps(hi) - 1e-9
+
+    @given(diagrams(), instants, instants)
+    def test_output_always_causal(self, diagram, t_forward, t_reverse):
+        fire = diagram.output_time_ps(t_forward, t_reverse)
+        assert fire > max(t_forward, t_reverse)
+
+    @given(diagrams(), instants, instants, st.floats(0.0, 1e5))
+    def test_time_translation_invariance(self, diagram, t_forward, t_reverse, shift):
+        base = diagram.output_time_ps(t_forward, t_reverse)
+        shifted = diagram.output_time_ps(t_forward + shift, t_reverse + shift)
+        assert math.isclose(shifted - shift, base, rel_tol=0, abs_tol=1e-6 * max(1.0, abs(base)))

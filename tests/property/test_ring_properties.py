@@ -1,0 +1,93 @@
+"""Property-based tests of the ring oscillator models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.charlie import CharlieDiagram, CharlieParameters
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+
+
+@st.composite
+def iro_rings(draw):
+    stage_count = draw(st.integers(3, 24))
+    delays = draw(
+        st.lists(
+            st.floats(50.0, 500.0), min_size=stage_count, max_size=stage_count
+        )
+    )
+    return InverterRingOscillator(delays, jitter_sigmas_ps=0.0)
+
+
+@st.composite
+def str_configs(draw):
+    stage_count = draw(st.integers(4, 24))
+    token_choices = [t for t in range(2, stage_count, 2)]
+    token_count = draw(st.sampled_from(token_choices))
+    static = draw(st.floats(100.0, 400.0))
+    charlie = draw(st.floats(10.0, 200.0))
+    return stage_count, token_count, static, charlie
+
+
+class TestIroProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(iro_rings())
+    def test_noise_free_simulation_matches_prediction(self, ring):
+        result = ring.simulate(12, seed=0, warmup_periods=2)
+        assert np.isclose(
+            result.trace.mean_period_ps(), ring.predicted_period_ps(), rtol=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(iro_rings())
+    def test_period_is_twice_delay_sum(self, ring):
+        assert np.isclose(
+            ring.predicted_period_ps(), 2.0 * np.sum(ring.stage_delays_ps)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(iro_rings(), st.integers(0, 2**31 - 1))
+    def test_edges_strictly_ordered(self, ring, seed):
+        noisy = InverterRingOscillator(ring.stage_delays_ps, jitter_sigmas_ps=2.0)
+        result = noisy.simulate(24, seed=seed, warmup_periods=0)
+        times = result.trace.times_ps
+        assert np.all(np.diff(times) > 0)
+
+
+class TestStrProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(str_configs())
+    def test_noise_free_simulation_matches_solver(self, config):
+        stage_count, token_count, static, charlie = config
+        diagram = CharlieDiagram(CharlieParameters.symmetric(static, charlie))
+        ring = SelfTimedRing([diagram] * stage_count, token_count, jitter_sigmas_ps=0.0)
+        result = ring.simulate(24, seed=0, warmup_periods=48)
+        assert np.isclose(
+            result.trace.mean_period_ps(), ring.predicted_period_ps(), rtol=0.02
+        ), (stage_count, token_count)
+
+    @settings(max_examples=20, deadline=None)
+    @given(str_configs())
+    def test_oscillation_never_deadlocks(self, config):
+        stage_count, token_count, static, charlie = config
+        diagram = CharlieDiagram(CharlieParameters.symmetric(static, charlie))
+        ring = SelfTimedRing([diagram] * stage_count, token_count, jitter_sigmas_ps=1.0)
+        result = ring.simulate(16, seed=1, warmup_periods=8)
+        assert result.period_count >= 16
+
+    @settings(max_examples=20, deadline=None)
+    @given(str_configs())
+    def test_balanced_is_fastest_for_even_rings(self, config):
+        # The minimum period sits at rho = L / (2 NT) = 1, reachable
+        # exactly only for even L (NT = NB); odd rings settle nearby.
+        stage_count, token_count, static, charlie = config
+        # Exact balance (NT = NB, NT even) needs L to be a multiple of 4.
+        stage_count = max(4, (stage_count // 4) * 4)
+        diagram = CharlieDiagram(CharlieParameters.symmetric(static, charlie))
+        from repro.core.temporal_model import solve_steady_state
+
+        balanced = solve_steady_state(diagram, stage_count, stage_count // 2)
+        token_count = min(token_count, stage_count - 2)
+        config_state = solve_steady_state(diagram, stage_count, token_count)
+        assert config_state.period_ps >= balanced.period_ps - 1e-6

@@ -1,0 +1,86 @@
+"""Property-based tests of the token/bubble algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings import tokens
+
+
+@st.composite
+def ring_states(draw, min_stages=3, max_stages=64):
+    stages = draw(st.integers(min_stages, max_stages))
+    return np.array(draw(st.lists(st.integers(0, 1), min_size=stages, max_size=stages)))
+
+
+@st.composite
+def valid_configurations(draw, min_stages=3, max_stages=64):
+    stages = draw(st.integers(min_stages, max_stages))
+    max_tokens = stages - 1
+    token_choices = [t for t in range(2, max_tokens + 1, 2)]
+    tokens_count = draw(st.sampled_from(token_choices))
+    return stages, tokens_count
+
+
+class TestStateInvariants:
+    @given(ring_states())
+    def test_token_count_always_even(self, state):
+        assert tokens.count_tokens(state) % 2 == 0
+
+    @given(ring_states())
+    def test_census_partitions_ring(self, state):
+        nt, nb = tokens.tokens_and_bubbles(state)
+        assert nt + nb == len(state)
+
+    @given(ring_states())
+    def test_positions_consistent_with_counts(self, state):
+        assert len(tokens.token_positions(state)) == tokens.count_tokens(state)
+        assert len(tokens.bubble_positions(state)) == tokens.count_bubbles(state)
+
+
+class TestConstructionProperties:
+    @given(valid_configurations())
+    def test_spread_produces_requested_census(self, config):
+        stages, token_count = config
+        state = tokens.spread_tokens_evenly(stages, token_count)
+        assert tokens.tokens_and_bubbles(state) == (token_count, stages - token_count)
+
+    @given(valid_configurations())
+    def test_cluster_produces_requested_census(self, config):
+        stages, token_count = config
+        state = tokens.cluster_tokens(stages, token_count)
+        assert tokens.tokens_and_bubbles(state) == (token_count, stages - token_count)
+
+    @given(valid_configurations())
+    def test_state_from_positions_round_trips(self, config):
+        stages, token_count = config
+        rng = np.random.default_rng(stages * 1000 + token_count)
+        positions = sorted(rng.choice(stages, size=token_count, replace=False).tolist())
+        state = tokens.state_from_token_positions(stages, positions)
+        assert tokens.token_positions(state) == positions
+
+
+class TestFiringProperties:
+    @settings(max_examples=50)
+    @given(valid_configurations(max_stages=32), st.integers(0, 200))
+    def test_firing_conserves_census_and_stays_live(self, config, steps):
+        stages, token_count = config
+        state = tokens.spread_tokens_evenly(stages, token_count)
+        census = tokens.tokens_and_bubbles(state)
+        for step in range(min(steps, 60)):
+            fireable = tokens.fireable_stages(state)
+            assert fireable, "deadlock in a valid configuration"
+            # Rotate the choice to explore different interleavings.
+            state = tokens.fire_stage(state, fireable[step % len(fireable)])
+            assert tokens.tokens_and_bubbles(state) == census
+
+    @settings(max_examples=50)
+    @given(valid_configurations(max_stages=32))
+    def test_firing_moves_exactly_one_token(self, config):
+        stages, token_count = config
+        state = tokens.spread_tokens_evenly(stages, token_count)
+        stage = tokens.fireable_stages(state)[0]
+        before = set(tokens.token_positions(state))
+        after = set(tokens.token_positions(tokens.fire_stage(state, stage)))
+        assert before - after == {stage}
+        assert after - before == {(stage + 1) % stages}

@@ -1,0 +1,119 @@
+"""The inverter ring oscillator model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rings.iro import InverterRingOscillator
+from repro.simulation.noise import SinusoidalModulation, StepModulation
+
+
+class TestConstruction:
+    def test_uniform_ring(self):
+        ring = InverterRingOscillator([100.0] * 5)
+        assert ring.stage_count == 5
+        assert ring.predicted_period_ps() == pytest.approx(1000.0)
+
+    def test_scalar_sigma_broadcast(self):
+        ring = InverterRingOscillator([100.0] * 4, jitter_sigmas_ps=1.5)
+        assert np.all(ring.jitter_sigmas_ps == 1.5)
+
+    def test_on_board_matches_paper_frequency(self, board):
+        ring = InverterRingOscillator.on_board(board, 5)
+        assert ring.predicted_frequency_mhz() == pytest.approx(376.0, rel=0.01)
+        assert ring.name == "IRO 5C"
+
+    @pytest.mark.parametrize(
+        "delays,sigmas",
+        [([], 1.0), ([100.0, -1.0], 1.0), ([100.0], -1.0)],
+    )
+    def test_validation(self, delays, sigmas):
+        with pytest.raises(ValueError):
+            InverterRingOscillator(delays, sigmas)
+
+
+class TestAnalyticalLayer:
+    def test_period_jitter_eq4(self):
+        ring = InverterRingOscillator([100.0] * 25, jitter_sigmas_ps=2.0)
+        assert ring.predicted_period_jitter_ps() == pytest.approx(math.sqrt(50) * 2.0)
+
+    def test_per_stage_sigmas(self):
+        ring = InverterRingOscillator([100.0] * 2, jitter_sigmas_ps=[3.0, 4.0])
+        assert ring.predicted_period_jitter_ps() == pytest.approx(math.sqrt(2 * 25.0))
+
+    def test_sample_periods_statistics(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=2.0)
+        periods = ring.sample_periods(50_000, seed=0)
+        assert np.mean(periods) == pytest.approx(1000.0, rel=1e-3)
+        assert np.std(periods) == pytest.approx(ring.predicted_period_jitter_ps(), rel=0.02)
+
+    def test_sample_periods_with_modulation(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=0.0)
+        modulation = StepModulation(step_time_ps=0.0, factor_after=0.1)
+        periods = ring.sample_periods(10, seed=0, modulation=modulation)
+        assert np.allclose(periods, 1100.0)
+
+    def test_sample_periods_validation(self):
+        with pytest.raises(ValueError):
+            InverterRingOscillator([100.0]).sample_periods(0)
+
+
+class TestEventDrivenLayer:
+    def test_noise_free_period_exact(self):
+        ring = InverterRingOscillator([100.0, 110.0, 90.0], jitter_sigmas_ps=0.0)
+        result = ring.simulate(16, seed=0)
+        assert result.trace.mean_period_ps() == pytest.approx(600.0)
+        assert result.trace.period_jitter_ps() == pytest.approx(0.0, abs=1e-9)
+
+    def test_simulation_matches_analytic_jitter(self):
+        ring = InverterRingOscillator([100.0] * 9, jitter_sigmas_ps=2.0)
+        result = ring.simulate(2048, seed=1)
+        assert result.trace.period_jitter_ps() == pytest.approx(
+            ring.predicted_period_jitter_ps(), rel=0.1
+        )
+
+    def test_simulation_and_fast_path_agree(self):
+        ring = InverterRingOscillator([120.0] * 7, jitter_sigmas_ps=2.0)
+        simulated = ring.simulate(1024, seed=3).trace.periods_ps()
+        sampled = ring.sample_periods(1024, seed=3)
+        assert np.mean(simulated) == pytest.approx(np.mean(sampled), rel=1e-3)
+        assert np.std(simulated) == pytest.approx(np.std(sampled), rel=0.15)
+
+    def test_warmup_removed(self):
+        ring = InverterRingOscillator([100.0] * 3)
+        result = ring.simulate(8, seed=0, warmup_periods=4)
+        assert len(result.warmup_trace) - len(result.trace) == 8
+        assert result.period_count >= 8
+
+    def test_duty_cycle_is_half(self):
+        ring = InverterRingOscillator([100.0, 130.0, 80.0, 95.0], jitter_sigmas_ps=0.0)
+        result = ring.simulate(32, seed=0)
+        # Rising and falling edges traverse the same stages: 50 % duty.
+        assert result.trace.duty_cycle() == pytest.approx(0.5, abs=0.01)
+
+    def test_modulation_shifts_period(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=0.0)
+        slow = ring.simulate(32, seed=0, modulation=StepModulation(0.0, 0.05))
+        assert slow.trace.mean_period_ps() == pytest.approx(1050.0, rel=1e-3)
+
+    def test_sinusoidal_modulation_visible_in_periods(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=0.0)
+        modulation = SinusoidalModulation(amplitude=0.02, period_ps=50_000.0)
+        result = ring.simulate(256, seed=0, modulation=modulation)
+        periods = result.trace.periods_ps()
+        assert periods.max() > 1015.0
+        assert periods.min() < 985.0
+
+    def test_simulate_validation(self):
+        ring = InverterRingOscillator([100.0] * 3)
+        with pytest.raises(ValueError):
+            ring.simulate(0)
+        with pytest.raises(ValueError):
+            ring.simulate(4, warmup_periods=-1)
+
+    def test_deterministic_given_seed(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=2.0)
+        a = ring.simulate(64, seed=11).trace.times_ps
+        b = ring.simulate(64, seed=11).trace.times_ps
+        assert np.array_equal(a, b)

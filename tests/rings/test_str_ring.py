@@ -1,0 +1,171 @@
+"""The self-timed ring model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.charlie import CharlieDiagram, CharlieParameters
+from repro.core.temporal_model import InvalidRingConfiguration
+from repro.rings.str_ring import SelfTimedRing
+from repro.rings.tokens import spread_tokens_evenly
+from repro.simulation.noise import StepModulation
+
+
+def make_ring(stages=8, tokens=None, static=250.0, charlie=100.0, sigma=2.0, **kwargs):
+    tokens = tokens if tokens is not None else stages // 2
+    diagram = CharlieDiagram(CharlieParameters.symmetric(static, charlie))
+    return SelfTimedRing([diagram] * stages, tokens, jitter_sigmas_ps=sigma, **kwargs)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ring = make_ring(8, 4)
+        assert ring.stage_count == 8
+        assert ring.token_count == 4
+        assert ring.bubble_count == 4
+
+    def test_default_initial_state_balanced(self):
+        ring = make_ring(8, 4)
+        assert np.array_equal(ring.initial_state, spread_tokens_evenly(8, 4))
+
+    def test_custom_initial_state_checked(self):
+        with pytest.raises(ValueError, match="tokens"):
+            make_ring(8, 4, initial_state=spread_tokens_evenly(8, 2))
+
+    def test_wrong_length_state(self):
+        with pytest.raises(ValueError):
+            make_ring(8, 4, initial_state=[0, 1, 0])
+
+    def test_invalid_token_count(self):
+        with pytest.raises(InvalidRingConfiguration):
+            make_ring(8, 3)
+
+    def test_on_board_matches_paper_frequency(self, board):
+        ring = SelfTimedRing.on_board(board, 96)
+        assert ring.predicted_frequency_mhz() == pytest.approx(320.0, rel=0.01)
+        assert ring.token_count == 48
+        assert ring.name == "STR 96C"
+
+    def test_on_board_explicit_tokens(self, board):
+        ring = SelfTimedRing.on_board(board, 32, token_count=10)
+        assert ring.token_count == 10
+
+
+class TestAnalyticalLayer:
+    def test_balanced_period(self):
+        ring = make_ring(8, 4, static=250.0, charlie=100.0)
+        assert ring.predicted_period_ps() == pytest.approx(4 * 350.0)
+
+    def test_predicted_jitter_eq5(self):
+        ring = make_ring(sigma=2.0)
+        assert ring.predicted_period_jitter_ps() == pytest.approx(2.0 * math.sqrt(2))
+
+    def test_sample_periods_statistics(self):
+        ring = make_ring(sigma=2.0)
+        periods = ring.sample_periods(50_000, seed=0)
+        assert np.mean(periods) == pytest.approx(ring.predicted_period_ps(), rel=1e-3)
+        assert np.std(periods) == pytest.approx(ring.predicted_period_jitter_ps(), rel=0.02)
+
+    def test_mean_diagram_averages(self):
+        diagrams = [
+            CharlieDiagram(CharlieParameters.symmetric(240.0, 90.0)),
+            CharlieDiagram(CharlieParameters.symmetric(260.0, 110.0)),
+        ] * 2
+        ring = SelfTimedRing(diagrams, 2)
+        mean = ring.mean_diagram()
+        assert mean.parameters.static_delay_ps == pytest.approx(250.0)
+        assert mean.parameters.charlie_ps == pytest.approx(100.0)
+
+
+class TestEventDrivenLayer:
+    def test_noise_free_period_matches_solver(self):
+        ring = make_ring(8, 4, sigma=0.0)
+        result = ring.simulate(32, seed=0, warmup_periods=32)
+        assert result.trace.mean_period_ps() == pytest.approx(
+            ring.predicted_period_ps(), rel=0.005
+        )
+
+    def test_unbalanced_ring_oscillates(self):
+        ring = make_ring(32, 10, sigma=0.0)
+        result = ring.simulate(32, seed=0, warmup_periods=48)
+        assert result.trace.mean_period_ps() == pytest.approx(
+            ring.predicted_period_ps(), rel=0.01
+        )
+
+    def test_jitter_close_to_eq5(self):
+        ring = make_ring(48, 24, sigma=2.0)
+        result = ring.simulate(1024, seed=1)
+        sigma = result.trace.period_jitter_ps()
+        # The event simulation carries neighbour-noise leakage (~20 %).
+        assert sigma == pytest.approx(ring.predicted_period_jitter_ps(), rel=0.45)
+
+    def test_jitter_independent_of_length(self):
+        sigma_by_length = {}
+        for stages in (8, 64):
+            ring = make_ring(stages, stages // 2, sigma=2.0)
+            sigma_by_length[stages] = (
+                ring.simulate(768, seed=2).trace.period_jitter_ps()
+            )
+        ratio = sigma_by_length[64] / sigma_by_length[8]
+        assert 0.7 < ratio < 1.4
+
+    def test_every_stage_observable(self):
+        ring = make_ring(8, 4, sigma=0.5)
+        for stage in (0, 3, 7):
+            result = ring.simulate(16, seed=0, output_stage=stage)
+            assert result.trace.mean_period_ps() == pytest.approx(
+                ring.predicted_period_ps(), rel=0.02
+            )
+
+    def test_output_stage_validation(self):
+        ring = make_ring(8, 4)
+        with pytest.raises(ValueError):
+            ring.simulate(8, output_stage=8)
+
+    def test_modulation_scales_period(self):
+        ring = make_ring(8, 4, sigma=0.0)
+        result = ring.simulate(
+            32, seed=0, modulation=StepModulation(0.0, 0.05), warmup_periods=32
+        )
+        # Supply weight 1.0 by default: full tracking.
+        assert result.trace.mean_period_ps() == pytest.approx(
+            1.05 * ring.predicted_period_ps(), rel=0.005
+        )
+
+    def test_supply_weight_attenuates_modulation(self):
+        diagram = CharlieDiagram(CharlieParameters.symmetric(250.0, 100.0))
+        ring = SelfTimedRing(
+            [diagram] * 8, 4, jitter_sigmas_ps=0.0, supply_weights=0.5
+        )
+        result = ring.simulate(
+            32, seed=0, modulation=StepModulation(0.0, 0.05), warmup_periods=32
+        )
+        assert result.trace.mean_period_ps() == pytest.approx(
+            1.025 * ring.predicted_period_ps(), rel=0.005
+        )
+
+    def test_deterministic_given_seed(self):
+        ring = make_ring(8, 4, sigma=2.0)
+        a = ring.simulate(64, seed=9).trace.times_ps
+        b = ring.simulate(64, seed=9).trace.times_ps
+        assert np.array_equal(a, b)
+
+    def test_duty_cycle_near_half(self):
+        ring = make_ring(8, 4, sigma=0.5)
+        result = ring.simulate(128, seed=0)
+        assert result.trace.duty_cycle() == pytest.approx(0.5, abs=0.05)
+
+    def test_mismatched_stages_still_lock(self):
+        rng = np.random.default_rng(4)
+        diagrams = [
+            CharlieDiagram(
+                CharlieParameters.symmetric(250.0 * f, 100.0 * f)
+            )
+            for f in rng.normal(1.0, 0.02, size=16)
+        ]
+        ring = SelfTimedRing(diagrams, 8, jitter_sigmas_ps=2.0)
+        result = ring.simulate(256, seed=4)
+        from repro.rings.modes import OscillationMode, classify_trace
+
+        assert classify_trace(result.trace).mode is OscillationMode.EVENLY_SPACED

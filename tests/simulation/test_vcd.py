@@ -1,0 +1,95 @@
+"""VCD export."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.vcd import _identifier, dump_vcd, vcd_string, write_vcd
+from repro.simulation.waveform import EdgeTrace
+
+
+def trace(times, first_value=1):
+    return EdgeTrace(np.asarray(times, dtype=float), first_value=first_value)
+
+
+class TestIdentifier:
+    def test_first_identifiers_distinct(self):
+        identifiers = [_identifier(i) for i in range(500)]
+        assert len(set(identifiers)) == 500
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+
+class TestVcdDocument:
+    def test_header_and_declarations(self):
+        text = vcd_string({"osc": trace([10.0, 20.0])})
+        assert "$timescale 1fs $end" in text
+        assert "$var wire 1 ! osc $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_initial_value_is_pre_edge(self):
+        text = vcd_string({"osc": trace([10.0], first_value=1)})
+        dump_section = text.split("$dumpvars")[1].split("$end")[0]
+        assert "0!" in dump_section  # value before the first rising edge
+
+    def test_change_times_in_femtoseconds(self):
+        text = vcd_string({"osc": trace([10.0, 20.5])})
+        assert "#10000" in text
+        assert "#20500" in text
+
+    def test_alternating_values(self):
+        text = vcd_string({"osc": trace([1.0, 2.0, 3.0], first_value=1)})
+        body = text.split("$end\n", 5)[-1]
+        assert "1!" in body and "0!" in body
+
+    def test_multiple_signals_merge_in_time(self):
+        text = vcd_string(
+            {
+                "a": trace([10.0, 30.0]),
+                "b": trace([20.0], first_value=0),
+            }
+        )
+        positions = [text.index(f"#{t}") for t in (10000, 20000, 30000)]
+        assert positions == sorted(positions)
+
+    def test_change_count_returned(self):
+        import io
+
+        buffer = io.StringIO()
+        count = write_vcd(buffer, {"a": trace([1.0, 2.0]), "b": trace([3.0])})
+        assert count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vcd_string({})
+
+    def test_dump_to_file(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        count = dump_vcd(str(path), {"osc": trace([5.0, 10.0])})
+        assert count == 2
+        assert path.read_text().startswith("$comment")
+
+
+class TestRingIntegration:
+    def test_dump_ring_phases(self, tmp_path, board):
+        from repro.rings.str_ring import SelfTimedRing
+        from repro.simulation.vcd import dump_ring_phases
+
+        ring = SelfTimedRing.on_board(board, 8)
+        result = ring.simulate_phases(8, seed=0, warmup_periods=4)
+        path = tmp_path / "phases.vcd"
+        count = dump_ring_phases(str(path), result)
+        assert count > 0
+        text = path.read_text()
+        for stage in range(8):
+            assert f"stage{stage}" in text
+
+    def test_iro_trace_dump(self, tmp_path, board):
+        from repro.rings.iro import InverterRingOscillator
+
+        ring = InverterRingOscillator.on_board(board, 5)
+        result = ring.simulate(16, seed=0)
+        path = tmp_path / "iro.vcd"
+        count = dump_vcd(str(path), {"iro_out": result.trace})
+        assert count == len(result.trace)

@@ -1,0 +1,117 @@
+"""Accumulation profiles and Allan statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.accumulation import (
+    AccumulationProfile,
+    accumulation_profile,
+    allan_deviation,
+    allan_profile,
+    allan_variance,
+)
+
+
+def white_periods(sigma=3.0, count=2**14, seed=0):
+    return np.random.default_rng(seed).normal(1000.0, sigma, size=count)
+
+
+def anticorrelated_periods(sigma=3.0, count=2**14, seed=1):
+    """Periods sharing edges of a regulated (bounded-wander) clock."""
+    rng = np.random.default_rng(seed)
+    # Edge displacement is stationary -> adjacent periods anticorrelated.
+    displacement = rng.normal(0.0, sigma, size=count + 1)
+    return 1000.0 + np.diff(displacement)
+
+
+class TestAccumulationProfile:
+    def test_white_profile_is_flat(self):
+        profile = accumulation_profile(white_periods())
+        assert profile.is_white()
+        assert profile.regulation_ratio == pytest.approx(1.0, abs=0.2)
+
+    def test_anticorrelated_profile_decays(self):
+        profile = accumulation_profile(anticorrelated_periods())
+        assert not profile.is_white()
+        assert profile.regulation_ratio < 0.3
+        assert profile.effective_sigma_ps[0] > profile.effective_sigma_ps[-1]
+
+    def test_default_block_sizes_are_powers_of_two(self):
+        profile = accumulation_profile(white_periods(count=1024))
+        assert list(profile.block_sizes) == [1, 2, 4, 8, 16]
+
+    def test_explicit_block_sizes(self):
+        profile = accumulation_profile(white_periods(count=1024), block_sizes=[1, 10, 100])
+        assert list(profile.block_sizes) == [1, 10, 100]
+
+    def test_variance_scaling_quantitative(self):
+        # For white noise, sigma_eff(N) ~ sigma for all N.
+        profile = accumulation_profile(white_periods(sigma=2.0, count=2**15))
+        assert np.allclose(profile.effective_sigma_ps, 2.0, rtol=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accumulation_profile(np.ones(8))
+        with pytest.raises(ValueError):
+            accumulation_profile(white_periods(count=64), block_sizes=[64])
+        with pytest.raises(ValueError):
+            accumulation_profile(white_periods(count=64), block_sizes=[0, 4])
+
+    def test_profile_container_validation(self):
+        with pytest.raises(ValueError):
+            AccumulationProfile(
+                block_sizes=np.array([1, 2]),
+                effective_sigma_ps=np.array([1.0]),
+                period_sigma_ps=1.0,
+            )
+
+
+class TestAllan:
+    def test_white_noise_value(self):
+        # AVAR(1) = sigma^2 for white period noise.
+        periods = white_periods(sigma=2.0)
+        assert allan_variance(periods, 1) == pytest.approx(4.0, rel=0.1)
+
+    def test_white_noise_scaling(self):
+        periods = white_periods(sigma=2.0, count=2**15)
+        assert allan_variance(periods, 16) == pytest.approx(4.0 / 16, rel=0.25)
+
+    def test_deviation_is_sqrt(self):
+        periods = white_periods()
+        assert allan_deviation(periods, 4) == pytest.approx(
+            np.sqrt(allan_variance(periods, 4))
+        )
+
+    def test_profile_slope_white(self):
+        profile = allan_profile(white_periods(count=2**15))
+        assert profile.is_white_period_noise()
+        assert profile.log_slope == pytest.approx(-0.5, abs=0.1)
+
+    def test_profile_slope_drift(self):
+        # A strong linear frequency drift flattens the ADEV slope.
+        drifting = white_periods(sigma=0.5) + np.linspace(0.0, 300.0, 2**14)
+        profile = allan_profile(drifting)
+        assert not profile.is_white_period_noise()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allan_variance(white_periods(count=32), 0)
+        with pytest.raises(ValueError):
+            allan_variance(np.ones(4), 4)
+
+
+class TestOnRings:
+    def test_iro_is_white_str_is_regulated(self, board):
+        from repro.rings.iro import InverterRingOscillator
+        from repro.rings.str_ring import SelfTimedRing
+
+        iro_periods = (
+            InverterRingOscillator.on_board(board, 5)
+            .simulate(2048, seed=3)
+            .trace.periods_ps()
+        )
+        str_periods = (
+            SelfTimedRing.on_board(board, 48).simulate(2048, seed=3).trace.periods_ps()
+        )
+        assert accumulation_profile(iro_periods).is_white()
+        assert accumulation_profile(str_periods).regulation_ratio < 0.8

@@ -1,0 +1,76 @@
+"""Descriptive statistics of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    linearity_r_squared,
+    normalized_excursion,
+    normalized_frequencies,
+    relative_standard_deviation,
+)
+
+
+class TestNormalizedFrequencies:
+    def test_basic(self):
+        result = normalized_frequencies([150.0, 300.0, 450.0], 300.0)
+        assert np.allclose(result, [0.5, 1.0, 1.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_frequencies([100.0], 0.0)
+        with pytest.raises(ValueError):
+            normalized_frequencies([0.0], 100.0)
+
+
+class TestNormalizedExcursion:
+    def test_paper_iro5_value(self):
+        # IRO 5C: roughly 284 -> 467 MHz across 1.0-1.4 V, Fn = 376.
+        assert normalized_excursion(284.0, 467.0, 376.0) == pytest.approx(0.487, abs=0.001)
+
+    def test_zero_for_flat_ring(self):
+        assert normalized_excursion(300.0, 300.0, 300.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_excursion(1.0, 2.0, 0.0)
+
+
+class TestRelativeStandardDeviation:
+    def test_table2_iro3_row(self):
+        freqs = [654.42, 646.84, 641.56, 645.60, 642.12]
+        assert relative_standard_deviation(freqs) == pytest.approx(0.0071, abs=0.0005)
+
+    def test_zero_spread(self):
+        assert relative_standard_deviation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_standard_deviation([1.0])
+        with pytest.raises(ValueError):
+            relative_standard_deviation([1.0, -1.0])
+
+
+class TestLinearity:
+    def test_perfect_line(self):
+        x = np.arange(10.0)
+        assert linearity_r_squared(x, 3.0 * x + 1.0) == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 50)
+        y = 2.0 * x + rng.normal(0, 0.01, 50)
+        assert linearity_r_squared(x, y) > 0.99
+
+    def test_nonlinear_scores_low(self):
+        x = np.linspace(-1, 1, 50)
+        assert linearity_r_squared(x, x**2) < 0.5
+
+    def test_constant_series(self):
+        assert linearity_r_squared([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linearity_r_squared([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            linearity_r_squared([1.0, 2.0], [1.0, 2.0])

@@ -1,0 +1,81 @@
+"""Accumulation-law fits."""
+
+import numpy as np
+import pytest
+
+from repro.stats.fitting import (
+    fit_constant,
+    fit_power_law,
+    fit_sqrt_accumulation,
+)
+
+
+class TestPowerLaw:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        fit = fit_power_law(x, 3.0 * x**0.5)
+        assert fit.amplitude == pytest.approx(3.0)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.array([1.0, 4.0, 9.0])
+        fit = fit_power_law(x, 2.0 * x)
+        assert np.allclose(fit.predict(np.array([16.0])), [32.0], rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0, 3.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+class TestSqrtAccumulation:
+    def test_recovers_gate_sigma(self):
+        stages = np.array([3, 5, 9, 25, 80])
+        jitters = 2.0 * np.sqrt(2.0 * stages)
+        fit = fit_sqrt_accumulation(stages, jitters)
+        assert fit.gate_sigma_ps == pytest.approx(2.0)
+        assert fit.follows_sqrt_law
+
+    def test_noisy_data_still_detected(self):
+        rng = np.random.default_rng(0)
+        stages = np.array([3, 5, 9, 15, 25, 40, 60, 80])
+        jitters = 2.0 * np.sqrt(2.0 * stages) * rng.normal(1.0, 0.03, size=stages.size)
+        fit = fit_sqrt_accumulation(stages, jitters)
+        assert fit.follows_sqrt_law
+        assert fit.gate_sigma_ps == pytest.approx(2.0, rel=0.1)
+
+    def test_flat_data_rejected(self):
+        stages = np.array([4, 8, 16, 32, 64])
+        jitters = np.full(5, 2.8)
+        fit = fit_sqrt_accumulation(stages, jitters)
+        assert not fit.follows_sqrt_law
+
+    def test_predict(self):
+        stages = np.array([3, 5, 9])
+        fit = fit_sqrt_accumulation(stages, 2.0 * np.sqrt(2.0 * stages))
+        assert np.allclose(fit.predict(np.array([50])), [2.0 * np.sqrt(100.0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_sqrt_accumulation([3, 5], [1.0, 2.0])
+
+
+class TestConstantFit:
+    def test_flat_series(self):
+        fit = fit_constant([2.8, 3.0, 2.9, 3.1])
+        assert fit.value == pytest.approx(2.95)
+        assert fit.is_flat
+
+    def test_spread_series_not_flat(self):
+        fit = fit_constant([1.0, 2.0, 4.0, 8.0])
+        assert not fit.is_flat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_constant([1.0])
+        with pytest.raises(ValueError):
+            fit_constant([1.0, -1.0])

@@ -1,0 +1,53 @@
+"""Gaussianity checks."""
+
+import numpy as np
+import pytest
+
+from repro.stats.normality import check_normality
+
+
+class TestCheckNormality:
+    def test_gaussian_sample_passes(self):
+        rng = np.random.default_rng(0)
+        report = check_normality(rng.normal(0.0, 1.0, size=2000))
+        assert report.is_normal
+        assert report.moments_look_gaussian
+        assert report.test_name == "shapiro-wilk"
+
+    def test_large_sample_uses_dagostino(self):
+        rng = np.random.default_rng(1)
+        report = check_normality(rng.normal(0.0, 1.0, size=20_000))
+        assert report.test_name == "dagostino-k2"
+        assert report.is_normal
+
+    def test_uniform_sample_fails(self):
+        rng = np.random.default_rng(2)
+        report = check_normality(rng.uniform(0.0, 1.0, size=2000))
+        assert not report.is_normal
+
+    def test_bimodal_sample_fails(self):
+        rng = np.random.default_rng(3)
+        sample = np.concatenate(
+            [rng.normal(-5.0, 0.5, 1000), rng.normal(5.0, 0.5, 1000)]
+        )
+        assert not check_normality(sample).is_normal
+
+    def test_skewed_sample_flagged_by_moments(self):
+        rng = np.random.default_rng(4)
+        report = check_normality(rng.exponential(1.0, size=2000))
+        assert not report.is_normal
+        assert not report.moments_look_gaussian
+        assert report.skewness > 0.5
+
+    def test_degenerate_population(self):
+        report = check_normality(np.full(100, 3.0))
+        assert report.test_name == "degenerate"
+        assert not report.is_normal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            check_normality(np.ones(4))
+        with pytest.raises(ValueError):
+            check_normality(np.ones((10, 2)))
+        with pytest.raises(ValueError):
+            check_normality(np.random.default_rng(0).normal(size=100), alpha=1.5)

@@ -1,0 +1,107 @@
+"""Jitter spectra."""
+
+import numpy as np
+import pytest
+
+from repro.stats.spectral import PeriodSpectrum, period_spectrum
+
+
+def white_periods(sigma=3.0, count=2**15, seed=0):
+    return np.random.default_rng(seed).normal(1000.0, sigma, size=count)
+
+
+def regulated_periods(sigma=3.0, count=2**15, seed=1):
+    displacement = np.random.default_rng(seed).normal(0.0, sigma, size=count + 1)
+    return 1000.0 + np.diff(displacement)
+
+
+class TestNormalization:
+    def test_integral_recovers_variance(self):
+        periods = white_periods(sigma=3.0)
+        spectrum = period_spectrum(periods)
+        df = float(np.diff(spectrum.frequency)[0])
+        assert np.sum(spectrum.psd) * df == pytest.approx(np.var(periods), rel=0.1)
+
+    def test_white_psd_flat(self):
+        spectrum = period_spectrum(white_periods())
+        assert spectrum.whiteness_ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_frequencies_span_to_nyquist(self):
+        spectrum = period_spectrum(white_periods(count=4096))
+        assert spectrum.frequency[0] > 0.0
+        assert spectrum.frequency[-1] == pytest.approx(0.5)
+
+
+class TestSignatures:
+    def test_regulated_low_band_suppressed(self):
+        spectrum = period_spectrum(regulated_periods())
+        assert spectrum.whiteness_ratio < 0.1
+
+    def test_ripple_line_detected(self):
+        rng = np.random.default_rng(2)
+        index = np.arange(2**14)
+        periods = rng.normal(1000.0, 1.0, index.size) + 4.0 * np.sin(
+            2 * np.pi * 0.07 * index
+        )
+        frequency, prominence = period_spectrum(periods).dominant_line()
+        assert frequency == pytest.approx(0.07, abs=0.01)
+        assert prominence > 50.0
+
+    def test_white_has_no_prominent_line(self):
+        _f, prominence = period_spectrum(white_periods()).dominant_line()
+        assert prominence < 30.0
+
+
+class TestOnRings:
+    def test_iro_white_str_regulated(self, board):
+        from repro.rings.iro import InverterRingOscillator
+        from repro.rings.str_ring import SelfTimedRing
+
+        iro_periods = (
+            InverterRingOscillator.on_board(board, 5)
+            .simulate(3072, seed=4)
+            .trace.periods_ps()
+        )
+        str_periods = (
+            SelfTimedRing.on_board(board, 48).simulate(3072, seed=4).trace.periods_ps()
+        )
+        assert period_spectrum(iro_periods).whiteness_ratio > 0.6
+        assert period_spectrum(str_periods).whiteness_ratio < 0.5
+
+    def test_attack_visible_as_line(self, board):
+        from repro.rings.iro import InverterRingOscillator
+        from repro.simulation.noise import SinusoidalModulation
+
+        ring = InverterRingOscillator.on_board(board, 5)
+        # Ripple at ~23 periods per cycle -> a line near 0.043 c/T.
+        modulation = SinusoidalModulation(amplitude=0.004, period_ps=61_000.0)
+        periods = ring.simulate(3072, seed=5, modulation=modulation).trace.periods_ps()
+        frequency, prominence = period_spectrum(periods).dominant_line()
+        assert frequency == pytest.approx(2660.0 / 61_000.0, abs=0.01)
+        assert prominence > 20.0
+
+
+class TestValidation:
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            period_spectrum(np.ones(32))
+
+    def test_bad_segment_length(self):
+        with pytest.raises(ValueError):
+            period_spectrum(white_periods(count=256), segment_length=8)
+        with pytest.raises(ValueError):
+            period_spectrum(white_periods(count=256), segment_length=512)
+
+    def test_band_mean_validation(self):
+        spectrum = period_spectrum(white_periods(count=1024))
+        with pytest.raises(ValueError):
+            spectrum.band_mean(0.4, 0.2)
+
+    def test_container_band_mean(self):
+        spectrum = PeriodSpectrum(
+            frequency=np.linspace(0.01, 0.5, 50),
+            psd=np.ones(50),
+            segment_length=128,
+            segment_count=4,
+        )
+        assert spectrum.band_mean(0.0, 0.5) == 1.0

@@ -1,0 +1,118 @@
+"""Multi-bit symbol statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.symbols import (
+    chi_square_uniformity,
+    desymbolize,
+    low_bits,
+    symbol_entropy,
+    symbolize_bits,
+)
+
+
+class TestSymbolize:
+    def test_msb_first(self):
+        assert list(symbolize_bits([1, 0, 0, 1], 2)) == [2, 1]
+        assert list(symbolize_bits([1, 1, 1, 0, 0, 0], 3)) == [7, 0]
+
+    def test_discards_tail(self):
+        assert list(symbolize_bits([1, 0, 1], 2)) == [2]
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        for width in (1, 2, 4, 8):
+            bits = rng.integers(0, 2, 64 * width)
+            symbols = symbolize_bits(bits, width)
+            assert np.array_equal(desymbolize(symbols, width), bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbolize_bits([0, 1], 0)
+        with pytest.raises(ValueError):
+            symbolize_bits([0, 2], 1)
+        with pytest.raises(ValueError):
+            desymbolize([4], 2)
+
+
+class TestLowBits:
+    def test_extraction(self):
+        assert list(low_bits([5, 6, 7, 8], 2)) == [1, 2, 3, 0]
+
+    def test_width_one_is_lsb(self):
+        assert list(low_bits([10, 11], 1)) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            low_bits([1], 0)
+
+
+class TestSymbolEntropy:
+    def test_uniform_reaches_log2(self):
+        rng = np.random.default_rng(1)
+        symbols = rng.integers(0, 16, 100_000)
+        assert symbol_entropy(symbols, 16) == pytest.approx(4.0, abs=0.01)
+
+    def test_constant_is_zero_ish(self):
+        assert symbol_entropy(np.zeros(1000, dtype=int), 4) < 0.01
+
+    def test_biased_below_max(self):
+        rng = np.random.default_rng(2)
+        symbols = np.where(rng.random(50_000) < 0.7, 0, rng.integers(1, 4, 50_000))
+        assert symbol_entropy(symbols, 4) < 1.5
+
+    def test_capped_at_log2_alphabet(self):
+        rng = np.random.default_rng(3)
+        assert symbol_entropy(rng.integers(0, 4, 200), 4) <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbol_entropy([], 4)
+        with pytest.raises(ValueError):
+            symbol_entropy([0, 5], 4)
+        with pytest.raises(ValueError):
+            symbol_entropy([0], 1)
+
+
+class TestChiSquare:
+    def test_uniform_passes(self):
+        rng = np.random.default_rng(4)
+        verdict = chi_square_uniformity(rng.integers(0, 8, 20_000), 8)
+        assert verdict.is_uniform
+
+    def test_skewed_fails(self):
+        rng = np.random.default_rng(5)
+        skewed = np.where(rng.random(20_000) < 0.4, 0, rng.integers(0, 8, 20_000))
+        assert not chi_square_uniformity(skewed, 8).is_uniform
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0, 1, 2], 8)
+
+
+class TestCoherentSymbols:
+    def _pair(self, sigma=3.0):
+        from repro.rings.iro import InverterRingOscillator
+        from repro.trng.coherent import CoherentSamplingTrng
+
+        def ring(period):
+            return InverterRingOscillator([period / 10] * 5, jitter_sigmas_ps=sigma)
+
+        return CoherentSamplingTrng(ring(3000.0), ring(3010.0))
+
+    def test_generate_symbols(self):
+        trng = self._pair()
+        symbols = trng.generate_symbols(100, bit_width=2, seed=0)
+        assert symbols.shape == (100,)
+        assert symbols.min() >= 0 and symbols.max() < 4
+
+    def test_symbols_spread_over_alphabet(self):
+        trng = self._pair()
+        symbols = trng.generate_symbols(300, bit_width=2, seed=1)
+        assert len(np.unique(symbols)) == 4
+
+    def test_width_rejected_when_sigma_too_small(self):
+        trng = self._pair(sigma=0.5)
+        with pytest.raises(ValueError, match="cannot[\\s\\S]*support"):
+            trng.generate_symbols(16, bit_width=4, seed=0)

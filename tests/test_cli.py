@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "TAB1" in output and "FIG12" in output and "ABL3" in output
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        output = capsys.readouterr().out
+        assert "lut_delay_ps" in output
+        assert "charlie_penalty_ps_L96" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "FIG4"]) == 0
+        output = capsys.readouterr().out
+        assert "[FIG4]" in output
+        assert "PASS" in output
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "FIG4", "FIG7"]) == 0
+        output = capsys.readouterr().out
+        assert "[FIG4]" in output and "[FIG7]" in output
+
+    def test_run_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["run", "FIG99"])
+
+    def test_report(self, capsys):
+        assert main(["report", "--periods", "256", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "delta F" in output
+        assert "STR more robust to voltage" in output

@@ -1,0 +1,113 @@
+"""Reporting layer: ascii plots and markdown reports."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.ascii_plot import AsciiPlot, plot_series
+from repro.reporting.markdown import (
+    render_markdown_report,
+    render_result_markdown,
+    write_markdown_report,
+)
+
+
+class TestAsciiPlot:
+    def test_renders_axes_and_legend(self):
+        plot = AsciiPlot(width=32, height=8, title="t", x_label="x", y_label="y")
+        plot.add_series("data", [0, 1, 2], [0, 1, 4])
+        text = plot.render()
+        assert "t" in text
+        assert "o = data" in text
+        assert "x: x" in text
+
+    def test_extremes_land_on_canvas_corners(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add_series("d", [0.0, 10.0], [0.0, 5.0])
+        lines = plot.render().splitlines()
+        canvas = [line.split("|", 1)[1] for line in lines if "|" in line]
+        assert canvas[0].rstrip().endswith("o")  # max point top-right
+        assert canvas[-1].lstrip().startswith("o")  # min point bottom-left
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = plot_series(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=20, height=6
+        )
+        assert "o = a" in text and "x = b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = plot_series({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])}, width=20, height=6)
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=4, height=4)
+        plot = AsciiPlot(width=20, height=6)
+        with pytest.raises(ValueError):
+            plot.add_series("bad", [1, 2], [1])
+        with pytest.raises(ValueError):
+            plot.add_series("empty", [], [])
+        with pytest.raises(ValueError):
+            plot.render()
+
+    def test_series_limit(self):
+        plot = AsciiPlot(width=20, height=6)
+        for index in range(8):
+            plot.add_series(f"s{index}", [0], [index])
+        with pytest.raises(ValueError):
+            plot.add_series("overflow", [0], [9])
+
+
+def make_result(passed=True):
+    return ExperimentResult(
+        experiment_id="TX",
+        title="test experiment",
+        columns=("a", "b"),
+        rows=[(1, 2.5), ("x", 0.125)],
+        paper_reference={"claim": "something"},
+        checks={"works": passed},
+        notes="a note",
+    )
+
+
+class TestMarkdown:
+    def test_section_contains_table_and_checks(self):
+        text = render_result_markdown(make_result())
+        assert "## TX — test experiment" in text
+        assert "| a | b |" in text
+        assert "PASS `works`" in text
+        assert "> a note" in text
+
+    def test_failed_check_bolded(self):
+        text = render_result_markdown(make_result(passed=False))
+        assert "**FAIL** `works`" in text
+
+    def test_report_header_counts(self):
+        text = render_markdown_report([make_result(), make_result(False)])
+        assert "**1/2 experiments pass" in text
+        assert "FAIL: works" in text
+
+    def test_report_requires_results(self):
+        with pytest.raises(ValueError):
+            render_markdown_report([])
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        count = write_markdown_report(str(path), [make_result()])
+        assert count > 0
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_float_formatting(self):
+        text = render_result_markdown(make_result())
+        assert "0.125" in text
+
+
+class TestCliReportMd:
+    def test_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "r.md"
+        assert main(["report-md", "--ids", "FIG4", "--output", str(output)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "[FIG4]" not in output.read_text()  # markdown style, not render()
+        assert "## FIG4" in output.read_text()

@@ -1,0 +1,91 @@
+"""Attack scenarios."""
+
+import pytest
+
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+from repro.trng.attacks import (
+    SupplyAttack,
+    measure_deterministic_response,
+    run_ripple_attack,
+    run_supply_sweep_attack,
+)
+
+
+class TestSupplyAttack:
+    def test_modulation_shape(self):
+        attack = SupplyAttack(delay_amplitude=0.01, period_ps=1e5)
+        modulation = attack.modulation()
+        assert modulation.factor(0.25e5) == pytest.approx(0.01)
+
+
+class TestDeterministicResponse:
+    @pytest.fixture(scope="class")
+    def responses(self, board):
+        attack = SupplyAttack(delay_amplitude=0.008, period_ps=1e5)
+        iro = InverterRingOscillator.on_board(board, 5)
+        str_ring = SelfTimedRing.on_board(board, 96)
+        return {
+            "iro": (iro, measure_deterministic_response(iro, attack, period_count=768, seed=0)),
+            "str": (
+                str_ring,
+                measure_deterministic_response(str_ring, attack, period_count=768, seed=0),
+            ),
+        }
+
+    def test_attack_inflates_sigma(self, responses):
+        for ring, response in responses.values():
+            assert response.attacked_sigma_ps > response.clean_sigma_ps
+
+    def test_relative_response_tracks_supply_weight(self, responses):
+        for ring, response in responses.values():
+            expected = ring.mean_supply_weight / 2**0.5
+            assert response.relative_response == pytest.approx(expected, rel=0.2)
+
+    def test_str_responds_less_than_iro(self, responses):
+        assert (
+            responses["str"][1].relative_response
+            < responses["iro"][1].relative_response
+        )
+
+    def test_q_inflation_above_one(self, responses):
+        for _ring, response in responses.values():
+            assert response.apparent_q_inflation > 1.0
+
+    def test_zero_amplitude_edge_case(self):
+        from repro.trng.attacks import DeterministicResponse
+
+        response = DeterministicResponse(
+            label="x",
+            attack=SupplyAttack(0.0, 1e5),
+            clean_sigma_ps=3.0,
+            attacked_sigma_ps=3.0,
+            mean_period_ps=3000.0,
+        )
+        assert response.relative_response == 0.0
+        assert response.deterministic_sigma_ps == 0.0
+
+
+class TestBatteryBasedAttacks:
+    def test_ripple_attack_runs(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=10.0)
+        outcome = run_ripple_attack(
+            ring,
+            reference_period_ps=500_000.0,
+            attack=SupplyAttack(delay_amplitude=0.0, period_ps=1e6),
+            bit_count=4096,
+            seed=0,
+        )
+        assert outcome.label == ring.name
+        assert 0.0 <= outcome.shannon_entropy <= 1.0
+
+    def test_supply_sweep_runs(self, board):
+        outcomes = run_supply_sweep_attack(
+            lambda v: InverterRingOscillator([100.0 / (1 + 1.2 * (v - 1.2))] * 5, 10.0),
+            reference_period_ps=300_000.0,
+            voltages=(1.0, 1.2),
+            bit_count=2048,
+            seed=0,
+        )
+        assert len(outcomes) == 2
+        assert outcomes[0].setting == 1.0

@@ -1,0 +1,68 @@
+"""Bit packing and export."""
+
+import numpy as np
+import pytest
+
+from repro.trng.bitio import (
+    bits_to_bytes_count,
+    pack_bits,
+    read_bitstream,
+    unpack_bits,
+    write_bitstream,
+)
+
+
+class TestPacking:
+    def test_msb_first(self):
+        assert pack_bits([1, 0, 0, 0, 0, 0, 0, 0]) == b"\x80"
+        assert pack_bits([0, 0, 0, 0, 0, 0, 0, 1]) == b"\x01"
+
+    def test_padding(self):
+        assert pack_bits([1, 1, 1]) == b"\xe0"
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        for count in (1, 7, 8, 9, 1000, 4093):
+            bits = rng.integers(0, 2, count)
+            assert np.array_equal(unpack_bits(pack_bits(bits), count), bits)
+
+    def test_empty(self):
+        assert pack_bits([]) == b""
+        assert unpack_bits(b"", 0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pack_bits([0, 1, 2])
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", 9)
+        with pytest.raises(ValueError):
+            unpack_bits(b"", -1)
+
+
+class TestFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 10_000)
+        path = tmp_path / "stream.bin"
+        byte_count = write_bitstream(str(path), bits)
+        assert byte_count == bits_to_bytes_count(10_000)
+        assert np.array_equal(read_bitstream(str(path), 10_000), bits)
+
+    def test_trng_to_file(self, tmp_path):
+        from repro.trng.phasewalk import PhaseWalkTrng
+
+        model = PhaseWalkTrng(1000.0, 5.0, 1.0, 200_000.0)
+        bits = model.generate(8192, seed=2)
+        path = tmp_path / "trng.bin"
+        write_bitstream(str(path), bits)
+        assert path.stat().st_size == 1024
+
+
+class TestByteCount:
+    @pytest.mark.parametrize("bits,expected", [(0, 0), (1, 1), (8, 1), (9, 2), (16, 2)])
+    def test_values(self, bits, expected):
+        assert bits_to_bytes_count(bits) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes_count(-1)

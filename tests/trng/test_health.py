@@ -1,0 +1,111 @@
+"""Online health tests."""
+
+import numpy as np
+import pytest
+
+from repro.trng.health import (
+    HealthMonitor,
+    adaptive_proportion_cutoff,
+    repetition_count_cutoff,
+)
+
+
+class TestCutoffs:
+    def test_repetition_cutoff_formula(self):
+        assert repetition_count_cutoff(1.0) == 21
+        assert repetition_count_cutoff(0.5) == 41
+
+    def test_repetition_cutoff_monotone_in_entropy(self):
+        assert repetition_count_cutoff(0.3) > repetition_count_cutoff(0.9)
+
+    def test_proportion_cutoff_bounds(self):
+        cutoff = adaptive_proportion_cutoff(1.0, window=512)
+        assert 256 < cutoff <= 512
+
+    def test_proportion_cutoff_monotone(self):
+        assert adaptive_proportion_cutoff(0.4, 512) > adaptive_proportion_cutoff(0.95, 512)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -0.2])
+    def test_entropy_validation(self, bad):
+        with pytest.raises(ValueError):
+            repetition_count_cutoff(bad)
+        with pytest.raises(ValueError):
+            adaptive_proportion_cutoff(bad)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_proportion_cutoff(0.9, window=4)
+
+
+class TestHealthMonitor:
+    def test_good_source_stays_healthy(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9)
+        bits = np.random.default_rng(0).integers(0, 2, size=100_000)
+        monitor.ingest(bits)
+        assert monitor.healthy
+
+    def test_stuck_source_raises_repetition_alarm(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9)
+        alarms = monitor.ingest(np.ones(200, dtype=int))
+        assert any(alarm.test_name == "repetition_count" for alarm in alarms)
+        assert not monitor.healthy
+
+    def test_alarm_position_recorded(self):
+        monitor = HealthMonitor(claimed_min_entropy=1.0)  # cutoff 21
+        alarms = monitor.ingest(np.zeros(50, dtype=int))
+        assert alarms[0].position == 20  # 21st identical bit, zero-indexed
+
+    def test_biased_source_raises_proportion_alarm(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9, window=512)
+        rng = np.random.default_rng(1)
+        biased = (rng.random(50_000) < 0.85).astype(int)
+        monitor.ingest(biased)
+        assert any(a.test_name == "adaptive_proportion" for a in monitor.alarms)
+
+    def test_mildly_biased_source_tolerated_at_low_claim(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.5, window=512)
+        rng = np.random.default_rng(2)
+        mild = (rng.random(50_000) < 0.6).astype(int)
+        monitor.ingest(mild)
+        assert monitor.healthy
+
+    def test_streaming_equivalent_to_batch(self):
+        bits = np.random.default_rng(3).integers(0, 2, size=10_000)
+        batch = HealthMonitor()
+        batch.ingest(bits)
+        streamed = HealthMonitor()
+        for chunk in np.array_split(bits, 37):
+            streamed.ingest(chunk)
+        assert len(batch.alarms) == len(streamed.alarms)
+
+    def test_reset_clears_state(self):
+        monitor = HealthMonitor()
+        monitor.ingest(np.ones(100, dtype=int))
+        assert not monitor.healthy
+        monitor.reset()
+        assert monitor.healthy
+        assert monitor.alarms == []
+
+    def test_check_block_convenience(self):
+        monitor = HealthMonitor()
+        assert monitor.check_block(np.random.default_rng(4).integers(0, 2, 5000))
+        assert not monitor.check_block(np.zeros(100, dtype=int))
+
+    def test_input_validation(self):
+        monitor = HealthMonitor()
+        with pytest.raises(ValueError):
+            monitor.ingest(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            monitor.ingest(np.ones((4, 4)))
+
+    def test_detects_injection_locked_trng(self):
+        """End-to-end: a diffusion-free multi-phase model is periodic and
+        trips the repetition test once the pattern has a long run."""
+        from repro.trng.multiphase import MultiphaseModel
+
+        locked = MultiphaseModel(2100.0, 21, 0.0, 150_000.0)
+        bits = locked.generate(5_000, seed=5)
+        monitor = HealthMonitor(claimed_min_entropy=0.9)
+        healthy = monitor.check_block(bits)
+        # Either a long run trips the RCT, or the window proportion trips.
+        assert not healthy or 0.4 < np.mean(bits) < 0.6

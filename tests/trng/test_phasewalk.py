@@ -1,0 +1,128 @@
+"""Phase-random-walk TRNG model."""
+
+import numpy as np
+import pytest
+
+from repro.rings.iro import InverterRingOscillator
+from repro.simulation.noise import SinusoidalModulation, StepModulation
+from repro.trng.phasewalk import PhaseWalkTrng, reference_period_for_q
+
+
+def make_model(period=1000.0, sigma=2.0, weight=1.0, reference=100_000.0):
+    return PhaseWalkTrng(period, sigma, weight, reference)
+
+
+class TestConstruction:
+    def test_operating_point(self):
+        model = make_model()
+        assert model.periods_per_sample == pytest.approx(100.0)
+        assert model.q_factor == pytest.approx(100.0 * 4.0 / 1e6)
+        assert model.phase_sigma_per_sample == pytest.approx(np.sqrt(model.q_factor))
+
+    def test_from_ring(self):
+        ring = InverterRingOscillator([100.0] * 5, jitter_sigmas_ps=2.0)
+        model = PhaseWalkTrng.from_ring(ring, 50_000.0)
+        assert model.period_ps == pytest.approx(1000.0)
+        assert model.period_jitter_ps == pytest.approx(ring.predicted_period_jitter_ps())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_ps": 0.0},
+            {"period_jitter_ps": -1.0},
+            {"supply_weight": -0.5},
+            {"reference_period_ps": 500.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            period_ps=1000.0,
+            period_jitter_ps=2.0,
+            supply_weight=1.0,
+            reference_period_ps=100_000.0,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            PhaseWalkTrng(**defaults)
+
+
+class TestDeterministicPhase:
+    def test_nominal_advance(self):
+        model = make_model()
+        phase = model.deterministic_phase(4, None, initial_phase=0.25)
+        assert np.allclose(phase, 0.25 + 100.0 * np.arange(1, 5))
+
+    def test_step_modulation_slows_phase(self):
+        model = make_model(weight=1.0)
+        slowed = model.deterministic_phase(
+            10, StepModulation(0.0, 0.01), initial_phase=0.0
+        )
+        nominal = model.deterministic_phase(10, None, initial_phase=0.0)
+        # 1 % slower delay-rate => ~1 % fewer periods elapsed.
+        assert np.allclose(slowed, nominal - 0.01 * 100.0 * np.arange(1, 11), rtol=1e-6)
+
+    def test_weight_scales_modulation(self):
+        half = make_model(weight=0.5)
+        full = make_model(weight=1.0)
+        modulation = StepModulation(0.0, 0.01)
+        shift_half = half.deterministic_phase(5, modulation, 0.0) - half.deterministic_phase(
+            5, None, 0.0
+        )
+        shift_full = full.deterministic_phase(5, modulation, 0.0) - full.deterministic_phase(
+            5, None, 0.0
+        )
+        assert np.allclose(shift_half, 0.5 * shift_full)
+
+    def test_sinusoid_integrates_to_zero_over_full_cycles(self):
+        model = make_model(reference=100_000.0)
+        modulation = SinusoidalModulation(amplitude=0.01, period_ps=100_000.0)
+        phase = model.deterministic_phase(8, modulation, 0.0)
+        nominal = model.deterministic_phase(8, None, 0.0)
+        # Each sample spans exactly one ripple cycle: zero net shift.
+        assert np.allclose(phase, nominal, atol=1e-3)
+
+
+class TestGenerate:
+    def test_fair_at_high_q(self):
+        model = make_model(sigma=10.0, reference=1_000_000.0)
+        bits = model.generate(20_000, seed=0)
+        assert abs(np.mean(bits) - 0.5) < 0.02
+
+    def test_noise_free_replica_is_deterministic(self):
+        model = make_model()
+        a = model.generate(64, seed=0, initial_phase=0.3, jitter_scale=0.0)
+        b = model.generate(64, seed=99, initial_phase=0.3, jitter_scale=0.0)
+        assert np.array_equal(a, b)
+
+    def test_attacker_predicts_noise_free_generator(self):
+        model = make_model(sigma=0.0)
+        bits = model.generate(128, seed=1, initial_phase=0.2)
+        replica = model.generate(128, seed=2, initial_phase=0.2, jitter_scale=0.0)
+        assert np.array_equal(bits, replica)
+
+    def test_jitter_defeats_prediction(self):
+        model = make_model(sigma=10.0, reference=1_000_000.0)
+        bits = model.generate(10_000, seed=3, initial_phase=0.2)
+        replica = model.generate(10_000, seed=4, initial_phase=0.2, jitter_scale=0.0)
+        agreement = np.mean(bits == replica)
+        assert abs(agreement - 0.5) < 0.03
+
+    def test_battery_passes_at_good_q(self):
+        from repro.stats.randomness import run_battery
+
+        model = make_model(sigma=2.0, reference=reference_period_for_q(1000.0, 2.0, 0.2))
+        bits = model.generate(30_000, seed=5)
+        assert run_battery(bits).all_passed
+
+
+class TestReferenceForQ:
+    def test_round_trip(self):
+        reference = reference_period_for_q(1000.0, 2.0, 0.15)
+        model = PhaseWalkTrng(1000.0, 2.0, 1.0, reference)
+        assert model.q_factor == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reference_period_for_q(1000.0, 2.0, 0.0)
+        with pytest.raises(ValueError):
+            reference_period_for_q(1000.0, 0.0, 0.1)

@@ -1,0 +1,54 @@
+"""Post-processing correctors."""
+
+import numpy as np
+import pytest
+
+from repro.stats.entropy import bias
+from repro.trng.postprocessing import parity_blocks, von_neumann, xor_decimate
+
+
+def biased_bits(p_one=0.7, count=100_000, seed=0):
+    return (np.random.default_rng(seed).random(count) < p_one).astype(int)
+
+
+class TestVonNeumann:
+    def test_removes_bias(self):
+        corrected = von_neumann(biased_bits(0.7))
+        assert abs(bias(corrected)) < 0.01
+
+    def test_known_pairs(self):
+        assert list(von_neumann([0, 1, 1, 0, 0, 0, 1, 1])) == [0, 1]
+
+    def test_output_rate(self):
+        bits = biased_bits(0.5, count=100_000)
+        corrected = von_neumann(bits)
+        assert corrected.size == pytest.approx(bits.size / 4, rel=0.05)
+
+    def test_empty_input(self):
+        assert von_neumann([]).size == 0
+
+
+class TestXorDecimate:
+    def test_bias_suppression(self):
+        raw = biased_bits(0.6)
+        folded = xor_decimate(raw, 4)
+        # e = 0.1 -> output bias 2^3 * 1e-4 = 8e-4.
+        assert abs(bias(folded)) < 0.01
+        assert abs(bias(folded)) < abs(bias(raw))
+
+    def test_known_values(self):
+        assert list(xor_decimate([1, 1, 0, 1, 0, 0], 3)) == [0, 1]
+
+    def test_fold_one_is_identity(self):
+        bits = biased_bits(count=100)
+        assert np.array_equal(xor_decimate(bits, 1), bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            xor_decimate([0, 1], 0)
+        with pytest.raises(ValueError):
+            xor_decimate([0, 1], 3)
+
+    def test_parity_blocks_alias(self):
+        bits = biased_bits(count=1024)
+        assert np.array_equal(parity_blocks(bits, 8), xor_decimate(bits, 8))

@@ -1,0 +1,105 @@
+"""Jittery clock reconstruction and DFF sampling."""
+
+import numpy as np
+import pytest
+
+from repro.trng.sampler import JitteryClock, sample_clock_at
+
+
+class TestJitteryClock:
+    def test_edge_times_from_periods(self):
+        clock = JitteryClock([100.0, 100.0])
+        assert np.allclose(clock.edge_times_ps, [50.0, 100.0, 150.0, 200.0])
+        assert clock.total_time_ps == 200.0
+
+    def test_value_follows_edges(self):
+        clock = JitteryClock([100.0], start_value=0)
+        assert clock.value_at(np.array([10.0])) == 0
+        assert clock.value_at(np.array([60.0])) == 1
+        assert clock.value_at(np.array([100.0])) == 0  # at the second edge
+
+    def test_vectorized_values(self):
+        clock = JitteryClock([100.0, 100.0], start_value=0)
+        values = clock.value_at(np.array([10.0, 60.0, 110.0, 160.0]))
+        assert list(values) == [0, 1, 0, 1]
+
+    def test_query_beyond_timeline_raises(self):
+        clock = JitteryClock([100.0])
+        with pytest.raises(ValueError, match="timeline"):
+            clock.value_at(np.array([150.0]))
+
+    def test_query_before_zero_raises(self):
+        clock = JitteryClock([100.0])
+        with pytest.raises(ValueError):
+            clock.value_at(np.array([-1.0]))
+
+    @pytest.mark.parametrize(
+        "periods,start", [([], 0), ([100.0, -1.0], 0), ([100.0], 2)]
+    )
+    def test_validation(self, periods, start):
+        with pytest.raises(ValueError):
+            JitteryClock(periods, start_value=start)
+
+
+class TestSampleClockAt:
+    def test_coherent_sampling_is_constant(self):
+        # Sampling a clean clock at exactly its period reads the same value.
+        clock = JitteryClock([100.0] * 200, start_value=0)
+        bits = sample_clock_at(clock, reference_period_ps=100.0, sample_count=64, first_sample_ps=10.0)
+        assert np.all(bits == bits[0])
+
+    def test_incommensurate_sampling_toggles(self):
+        clock = JitteryClock([100.0] * 500, start_value=0)
+        bits = sample_clock_at(clock, reference_period_ps=130.0, sample_count=64)
+        assert 0 < np.mean(bits) < 1
+
+    def test_validation(self):
+        clock = JitteryClock([100.0] * 10)
+        with pytest.raises(ValueError):
+            sample_clock_at(clock, 0.0, 4)
+        with pytest.raises(ValueError):
+            sample_clock_at(clock, 100.0, 0)
+        with pytest.raises(ValueError):
+            sample_clock_at(clock, 100.0, 4, first_sample_ps=-1.0)
+
+
+class TestMetastability:
+    def test_zero_window_is_ideal(self):
+        clock = JitteryClock([100.0] * 100, start_value=0)
+        ideal = sample_clock_at(clock, 130.0, 32, first_sample_ps=5.0)
+        modelled = sample_clock_at(
+            clock, 130.0, 32, first_sample_ps=5.0, metastability_window_ps=0.0
+        )
+        assert np.array_equal(ideal, modelled)
+
+    def test_edge_aligned_samples_randomized(self):
+        clock = JitteryClock([100.0] * 400, start_value=0)
+        # Sample exactly at the edges: every sample is metastable.
+        bits = sample_clock_at(
+            clock,
+            100.0,
+            128,
+            first_sample_ps=50.0,
+            metastability_window_ps=5.0,
+            seed=0,
+        )
+        # Ideal sampling at edges would be constant; metastability mixes it.
+        assert 0.2 < np.mean(bits) < 0.8
+
+    def test_far_from_edges_untouched(self):
+        clock = JitteryClock([100.0] * 100, start_value=0)
+        bits = sample_clock_at(
+            clock, 100.0, 32, first_sample_ps=25.0, metastability_window_ps=5.0, seed=1
+        )
+        ideal = sample_clock_at(clock, 100.0, 32, first_sample_ps=25.0)
+        assert np.array_equal(bits, ideal)
+
+    def test_distance_to_edge(self):
+        clock = JitteryClock([100.0] * 4, start_value=0)
+        distances = clock.distance_to_edge_ps(np.array([50.0, 60.0, 95.0]))
+        assert distances == pytest.approx([0.0, 10.0, 5.0])
+
+    def test_window_validation(self):
+        clock = JitteryClock([100.0] * 10)
+        with pytest.raises(ValueError):
+            sample_clock_at(clock, 100.0, 4, metastability_window_ps=-1.0)
