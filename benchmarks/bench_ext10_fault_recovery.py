@@ -1,0 +1,12 @@
+"""EXT10 — fault-injection campaign over the supervised runtime (extension).
+
+Every library fault at every swept severity against the supervised
+IRO-primary / STR-backup generator: the detection-latency and
+recovery-outcome coverage matrix.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext10(benchmark):
+    run_reproduction(benchmark, "EXT10")

@@ -11,6 +11,10 @@ Commands
     Print the paper's STR-vs-IRO comparison on a fresh five-board bank.
 ``calibration``
     Print the fitted device-model constants.
+``faults``
+    Run a fault scenario against the supervised TRNG runtime and print
+    the structured event log (plus the EXT10 coverage matrix with
+    ``--matrix``).
 """
 
 from __future__ import annotations
@@ -20,12 +24,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENT_IDS, get_experiment, run_experiment
+from repro.experiments.registry import experiment_title
 
 
 def _command_list(_args: argparse.Namespace) -> int:
     for experiment_id in EXPERIMENT_IDS:
-        doc = (get_experiment(experiment_id).__module__ or "").rsplit(".", 1)[-1]
-        print(f"{experiment_id:6}  {doc}")
+        print(f"{experiment_id:6}  {experiment_title(experiment_id)}")
     return 0
 
 
@@ -74,6 +78,50 @@ def _command_report_md(args: argparse.Namespace) -> int:
     return 0 if all(result.all_checks_pass for result in results) else 1
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    from repro.core.campaign import RingSpec
+    from repro.faults import FaultSchedule, ScheduledFault, demo_schedule, standard_fault
+    from repro.trng.supervisor import RecoveryPolicy, SupervisedTrng
+
+    if args.matrix:
+        result = run_experiment("EXT10")
+        print(result.render())
+        return 0 if result.all_checks_pass else 1
+
+    if args.fault == "demo":
+        scenario = demo_schedule(args.severity, onset_s=args.onset)
+    else:
+        scenario = FaultSchedule(
+            [
+                ScheduledFault(
+                    standard_fault(args.fault, args.severity), start_s=args.onset
+                )
+            ],
+            name=f"{args.fault}@{args.severity:g}",
+        )
+    backups = () if args.no_backup else (RingSpec("str", 48),)
+    trng = SupervisedTrng(
+        RingSpec("iro", 5), policy=RecoveryPolicy(backup_specs=backups)
+    )
+    result = trng.run(args.bits, scenario=scenario, seed=args.seed)
+
+    print(f"scenario: {scenario.describe()}")
+    print(f"primary:  IRO 5C  backups: {', '.join(s.label for s in backups) or 'none'}")
+    print()
+    print(result.events.render())
+    print()
+    latency = (
+        "-"
+        if result.first_alarm_position is None
+        else f"{(result.events.first_of_kind('alarm').time_s - args.onset) * 1e3:.1f} ms"
+    )
+    print(f"final state:       {result.final_state.value}")
+    print(f"bits emitted:      {result.bit_count} / {args.bits}")
+    print(f"bits sampled:      {result.total_sampled}")
+    print(f"detection latency: {latency}")
+    return 0
+
+
 def _command_calibration(_args: argparse.Namespace) -> int:
     from repro.fpga.calibration import cyclone_iii_calibration, summarize_calibration
 
@@ -110,6 +158,35 @@ def build_parser() -> argparse.ArgumentParser:
         "calibration", help="print the fitted device constants"
     )
     calibration_parser.set_defaults(handler=_command_calibration)
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="run a fault scenario against the supervised runtime"
+    )
+    faults_parser.add_argument(
+        "--fault",
+        choices=("demo", "stuck", "brownout", "ripple", "temperature", "glitch"),
+        default="demo",
+        help="fault scenario to inject (default: the composite demo schedule)",
+    )
+    faults_parser.add_argument(
+        "--severity", type=float, default=1.0, help="fault severity in [0, 1]"
+    )
+    faults_parser.add_argument(
+        "--onset", type=float, default=0.25, help="fault onset time [s]"
+    )
+    faults_parser.add_argument(
+        "--bits", type=int, default=10_240, help="bit budget for the supervised run"
+    )
+    faults_parser.add_argument("--seed", type=int, default=7)
+    faults_parser.add_argument(
+        "--no-backup", action="store_true", help="drop the STR 48C backup spec"
+    )
+    faults_parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run the full EXT10 campaign and print the coverage matrix",
+    )
+    faults_parser.set_defaults(handler=_command_faults)
 
     report_md_parser = subparsers.add_parser(
         "report-md", help="write a markdown reproduction report"

@@ -21,6 +21,15 @@ FIG12     STR period jitter vs number of stages (constant)
 SEC5A     evenly-spaced locking across lengths and token counts
 EXT1      TRNG robustness under a supply-ripple attack
 EXT2      coherent-sampling feasibility across the board family
+EXT3      jitter accumulation profiles
+EXT4      the multi-phase STR TRNG
+EXT5      restart experiments
+EXT6      temperature sweep
+EXT7      counter statistics of the coherent-sampling TRNG
+EXT8      the throughput/entropy design tradeoff
+EXT9      XOR-of-IROs baseline vs the multi-phase STR
+EXT10     fault-injection campaign over the supervised runtime
+ABL1-5    design-choice ablations (Charlie, routing, process, ...)
 ========  ==========================================================
 """
 

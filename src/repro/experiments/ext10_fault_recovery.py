@@ -1,0 +1,212 @@
+"""EXT10 — fault-injection campaign over the supervised runtime (extension).
+
+The paper's robustness claims (C4/C5) promise that an STR keeps working
+where an IRO degrades.  EXT1/EXT6 measured that degradation; this
+campaign *exercises* it end to end: every fault in the library
+(:data:`repro.faults.FAULT_KINDS`) is injected at a sweep of severities
+into a supervised IRO-backed generator with an STR backup, and the
+supervisor's structured event log is scored into a detection-latency /
+recovery-outcome coverage matrix.
+
+What the matrix shows, per fault kind:
+
+* **stuck** — oscillation death is binary: detected at every severity
+  (a stuck stage breaks the IRO's single event loop outright);
+* **brownout** — the static sag alone barely moves Q (Fig. 8
+  linearity: jitter scales with delay), so moderate severities sail
+  under the health tests; at high severity the regulator's dropout
+  ripple injection-locks the high-supply-weight IRO, the repetition
+  test fires, and recovery *fails over to the STR backup* — whose
+  Charlie-confined supply weight keeps it below the lock threshold.
+  This row is claims C4/C5 operationalized;
+* **ripple** — the deliberate injection-locking attack behaves like the
+  brownout's dynamic component: lock (and detection) only past the
+  IRO's lock boundary, and the STR shrugs it off;
+* **temperature** — the ramp only upsets the oscillation when its
+  plateau crosses the thermal upset threshold (full severity);
+* **glitch** — sampler upsets bypass the ring, so ring robustness is
+  irrelevant: detection scales with the forced-bit fraction and the
+  shared-net variant can defeat failover, leaving degraded mode or a
+  clean total-failure stop.
+
+A separate no-backup oscillation-death run checks the hard guarantee:
+TOTAL_FAILURE with zero bits emitted after the alarm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.campaign import RingSpec
+from repro.experiments.base import ExperimentResult
+from repro.faults import FAULT_KINDS, FaultSchedule, ScheduledFault, standard_fault
+from repro.fpga.board import Board
+from repro.trng.supervisor import (
+    RecoveryPolicy,
+    SupervisedRunResult,
+    SupervisedTrng,
+    TrngState,
+)
+
+#: Recovery-outcome labels, from best to worst.
+OUTCOME_ORDER: Tuple[str, ...] = (
+    "no alarm",
+    "retry",
+    "restart",
+    "failover",
+    "degraded",
+    "total failure",
+)
+
+
+def _outcome(result: SupervisedRunResult, onset_s: float) -> Tuple[str, str, int]:
+    """Classify a supervised run into (outcome, latency cell, alarm count).
+
+    The outcome is the *deepest* recovery rung the run reached (per
+    :data:`OUTCOME_ORDER`), not the last event: a marginal fault can
+    flicker between alarms and spurious recoveries, and the matrix
+    should report how far down the ladder it pushed the supervisor.
+    """
+    alarms = [e for e in result.events.of_kind("alarm") if e.time_s >= onset_s]
+    if not alarms:
+        return "no alarm", "-", 0
+    latency_ms = (alarms[0].time_s - onset_s) * 1.0e3
+    depth = 0
+    for event in result.events:
+        if event.time_s < alarms[0].time_s:
+            continue
+        if event.kind == "recovered":
+            label = event.detail.replace("mechanism=", "")
+        elif event.kind == "failover":
+            label = "failover"
+        elif event.kind == "degraded_mode":
+            label = "degraded"
+        elif event.kind == "total_failure":
+            label = "total failure"
+        else:
+            continue
+        depth = max(depth, OUTCOME_ORDER.index(label))
+    return OUTCOME_ORDER[depth], f"{latency_ms:.1f}", len(alarms)
+
+
+def run(
+    board: Optional[Board] = None,
+    severities: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    bit_budget: int = 10_240,
+    block_bits: int = 512,
+    onset_s: float = 0.25,
+    seed: int = 101,
+) -> ExperimentResult:
+    """Sweep fault kind x severity through the supervised runtime.
+
+    Each cell runs a fresh :class:`SupervisedTrng` on an IRO 5C primary
+    with an STR 48C backup; the fault activates at ``onset_s`` (after
+    startup qualification) and persists.  Detection latency is the time
+    from fault onset to the first health alarm — the honest figure,
+    since the supervisor only ever sees the health tests, never the
+    fault itself.
+    """
+    board = board if board is not None else Board()
+    primary = RingSpec("iro", 5)
+    backup = RingSpec("str", 48)
+
+    rows: List[Tuple] = []
+    checks = {}
+    detected_at_max = {}
+    stuck_detected = []
+    brownout_max_outcome = ""
+
+    for kind_index, kind in enumerate(FAULT_KINDS):
+        for severity_index, severity in enumerate(severities):
+            scenario = FaultSchedule(
+                [ScheduledFault(standard_fault(kind, severity), start_s=onset_s)],
+                name=f"{kind}@{severity:g}",
+            )
+            trng = SupervisedTrng(
+                primary,
+                board=board,
+                policy=RecoveryPolicy(backup_specs=(backup,)),
+                block_bits=block_bits,
+            )
+            result = trng.run(
+                bit_budget,
+                scenario=scenario,
+                seed=seed + 13 * kind_index + severity_index,
+            )
+            outcome, latency, alarm_count = _outcome(result, onset_s)
+            detected = outcome != "no alarm"
+            rows.append(
+                (
+                    kind,
+                    f"{severity:.2f}",
+                    "yes" if detected else "no",
+                    latency,
+                    alarm_count,
+                    outcome,
+                    result.final_state.value,
+                    result.bit_count,
+                )
+            )
+            if severity == max(severities):
+                detected_at_max[kind] = detected
+                if kind == "brownout":
+                    brownout_max_outcome = outcome
+            if kind == "stuck":
+                stuck_detected.append(detected)
+
+    for kind in FAULT_KINDS:
+        checks[f"{kind}_detected_at_max_severity"] = detected_at_max[kind]
+    checks["stuck_detected_at_every_severity"] = all(stuck_detected)
+    checks["brownout_max_fails_over_to_backup"] = brownout_max_outcome == "failover"
+
+    # The hard guarantee: oscillation death with no viable backup must
+    # end in TOTAL_FAILURE having emitted nothing after the alarm.
+    bare = SupervisedTrng(primary, board=board, policy=RecoveryPolicy(), block_bits=block_bits)
+    dead = bare.run(
+        bit_budget,
+        scenario=FaultSchedule(
+            [ScheduledFault(standard_fault("stuck", 1.0), start_s=onset_s)],
+            name="stuck_no_backup",
+        ),
+        seed=seed + 997,
+    )
+    checks["no_backup_stuck_is_total_failure"] = (
+        dead.final_state is TrngState.TOTAL_FAILURE
+    )
+    checks["no_bits_after_total_failure_alarm"] = dead.emitted_after_first_alarm == 0
+
+    return ExperimentResult(
+        experiment_id="EXT10",
+        title="Fault-injection campaign: detection latency and recovery coverage "
+        "(extension)",
+        columns=(
+            "fault",
+            "severity",
+            "detected",
+            "latency [ms]",
+            "alarms",
+            "deepest recovery",
+            "final state",
+            "bits emitted",
+        ),
+        rows=rows,
+        paper_reference={
+            "claim_C4": "the STR oscillation frequency remains inside a 1.3% "
+            "band over the 0.9-1.3 V sweep where IROs move ~4x",
+            "claim_C5": "STR period jitter is essentially independent of ring "
+            "length — robustness argues for the STR as entropy source",
+            "lineage": "online health supervision per SP 800-90B / AIS-31; "
+            "the failover row is C4/C5 exercised end to end",
+        },
+        checks=checks,
+        notes=(
+            "Latency is fault onset to first health alarm; '-' marks faults "
+            "the SP 800-90B tests cannot see at that severity (the source "
+            "still delivers acceptable entropy there, e.g. a mild brownout "
+            "moves period and jitter together per Fig. 8). The brownout and "
+            "ripple rows reproduce the paper's asymmetry: the IRO primary "
+            "injection-locks and the supervisor fails over to the STR "
+            "backup, which stays below the lock threshold at every swept "
+            "severity."
+        ),
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
@@ -19,6 +20,7 @@ from repro.experiments import (
     ext7_coherent_counter,
     ext8_tradeoff,
     ext9_xored_baseline,
+    ext10_fault_recovery,
     fig04_propagation,
     fig05_modes,
     fig07_charlie,
@@ -54,6 +56,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "EXT7": ext7_coherent_counter.run,
     "EXT8": ext8_tradeoff.run,
     "EXT9": ext9_xored_baseline.run,
+    "EXT10": ext10_fault_recovery.run,
     "ABL1": abl1_charlie.run,
     "ABL2": abl2_routing.run,
     "ABL3": abl3_process.run,
@@ -73,6 +76,23 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known ids: {', '.join(_REGISTRY)}"
         ) from None
+
+
+def experiment_title(experiment_id: str) -> str:
+    """The experiment's human title, from its module docstring.
+
+    Every experiment module's docstring starts ``"ID — title."``; this
+    strips the id prefix and the trailing period, so ``repro list`` can
+    print real titles without running anything.
+    """
+    run = get_experiment(experiment_id)
+    module = inspect.getmodule(run)
+    doc = (module.__doc__ or "").strip()
+    first_line = doc.splitlines()[0].strip() if doc else ""
+    prefix, separator, rest = first_line.partition("—")
+    if separator and prefix.strip().upper() == experiment_id.upper():
+        first_line = rest.strip()
+    return first_line.rstrip(".")
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

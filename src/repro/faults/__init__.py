@@ -1,0 +1,43 @@
+"""Fault injection: systematic stress for the supervised TRNG runtime.
+
+* :mod:`repro.faults.base` — the :class:`FaultScenario` protocol,
+  :class:`FaultEffect` (the physical stress vocabulary) and
+  :class:`FaultSchedule` (composite timelines).
+* :mod:`repro.faults.library` — the injectable fault library: stuck
+  stage, voltage brownout, supply-ripple injection locking, temperature
+  ramp and sampling-glitch bursts.
+"""
+
+from repro.faults.base import (
+    NOMINAL_EFFECT,
+    FaultEffect,
+    FaultScenario,
+    FaultSchedule,
+    ScheduledFault,
+)
+from repro.faults.library import (
+    FAULT_KINDS,
+    GlitchBurstFault,
+    StuckStageFault,
+    SupplyRippleFault,
+    TemperatureRampFault,
+    VoltageBrownoutFault,
+    demo_schedule,
+    standard_fault,
+)
+
+__all__ = [
+    "NOMINAL_EFFECT",
+    "FaultEffect",
+    "FaultScenario",
+    "FaultSchedule",
+    "ScheduledFault",
+    "FAULT_KINDS",
+    "StuckStageFault",
+    "VoltageBrownoutFault",
+    "SupplyRippleFault",
+    "TemperatureRampFault",
+    "GlitchBurstFault",
+    "standard_fault",
+    "demo_schedule",
+]

@@ -1,0 +1,268 @@
+"""The injectable fault library.
+
+Each fault maps a scalar ``severity`` in ``[0, 1]`` onto a physically
+parameterized stress.  The mapping constants are chosen so that the
+highest severity of every fault is *detectable* by the SP 800-90B health
+tests on an IRO-backed generator (the EXT10 acceptance bar), while
+moderate severities populate the interesting grey zone where the paper's
+IRO-vs-STR asymmetry decides survival:
+
+* :class:`StuckStageFault` — a stage output sticks at a logic level.
+  An IRO carries a single event around the loop, so any stuck stage is
+  fatal at every severity (oscillation death).
+* :class:`VoltageBrownoutFault` — the regulator sags.  The core voltage
+  drops by ``severity * max_drop_v`` *and* the failing regulator's
+  ripple couples into the rings with ``injection_strength = severity``
+  (a collapsing switch-mode regulator rings hard).  High-supply-weight
+  rings (IROs) cross the injection-lock threshold and freeze; the STR's
+  Charlie-confined delay keeps it below the lock range — claim C4/C5
+  operationalized.
+* :class:`SupplyRippleFault` — a deliberate injection-locking attack:
+  sinusoidal delay modulation plus the matching injection strength.
+* :class:`TemperatureRampFault` — slow die heating toward the thermal
+  upset region; at full severity the ramp crosses the modelled upset
+  temperature and the oscillation margin collapses.
+* :class:`GlitchBurstFault` — bursts of transient glitches on the
+  sampling flip-flop, forcing captured bits to a fixed value.  Bypasses
+  the ring entirely, so ring robustness does not help — only the
+  health tests and XOR-degraded mode do.
+
+:func:`standard_fault` builds any of these by name;
+:func:`demo_schedule` assembles the composite timeline used by the CLI
+demo and the documentation tutorial.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.faults.base import (
+    NOMINAL_EFFECT,
+    FaultEffect,
+    FaultScenario,
+    FaultSchedule,
+    ScheduledFault,
+)
+from repro.fpga.voltage import NOMINAL_CORE_VOLTAGE, NOMINAL_TEMPERATURE_C
+from repro.simulation.noise import SinusoidalModulation
+
+#: Fault kinds accepted by :func:`standard_fault`, in EXT10 sweep order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "stuck",
+    "brownout",
+    "ripple",
+    "temperature",
+    "glitch",
+)
+
+
+class StuckStageFault(FaultScenario):
+    """A ring stage sticks at a logic level — oscillation death.
+
+    The IRO's single travelling event cannot pass a stuck stage, and an
+    STR stage frozen mid-handshake deadlocks its neighbours, so this
+    fault is binary: any positive severity kills the oscillation.
+    Severity is kept as a knob for sweep symmetry with the other faults.
+    """
+
+    def __init__(self, severity: float = 1.0, name: str = "stuck_stage") -> None:
+        super().__init__(name, severity)
+
+    def effect_at(self, elapsed_s: float) -> FaultEffect:
+        if self.severity == 0.0:
+            return NOMINAL_EFFECT
+        return FaultEffect(oscillation_dead=True)
+
+
+class VoltageBrownoutFault(FaultScenario):
+    """A regulator brownout: supply sag plus dropout ripple.
+
+    ``severity`` scales both the static voltage drop (up to
+    ``max_drop_v``) and the injection strength of the collapsing
+    regulator's ripple.  The static sag alone shifts the operating
+    point (larger period, proportionally larger jitter — a mild Q
+    loss, as the Fig. 8 linearity predicts); detection at high severity
+    comes from the ripple injection-locking the high-supply-weight ring.
+    """
+
+    def __init__(
+        self,
+        severity: float,
+        max_drop_v: float = 0.45,
+        nominal_v: float = NOMINAL_CORE_VOLTAGE,
+        ripple_per_severity: float = 1.0,
+        name: str = "voltage_brownout",
+    ) -> None:
+        super().__init__(name, severity)
+        if max_drop_v <= 0.0 or max_drop_v >= nominal_v:
+            raise ValueError(
+                f"max drop must be in (0, {nominal_v}), got {max_drop_v}"
+            )
+        self.max_drop_v = float(max_drop_v)
+        self.nominal_v = float(nominal_v)
+        self.ripple_per_severity = float(ripple_per_severity)
+
+    def effect_at(self, elapsed_s: float) -> FaultEffect:
+        if self.severity == 0.0:
+            return NOMINAL_EFFECT
+        return FaultEffect(
+            supply_v=self.nominal_v - self.severity * self.max_drop_v,
+            injection_strength=self.severity * self.ripple_per_severity,
+        )
+
+
+class SupplyRippleFault(FaultScenario):
+    """A deliberate supply-ripple injection-locking attack.
+
+    The attacker couples a sinusoid into the core supply: every ring
+    sees the delay modulation (through its supply weight, as in EXT1),
+    and once ``severity * mean_supply_weight`` crosses the lock
+    threshold the ring's phase diffusion collapses — the classic
+    injection-locking failure mode of deployed RO-TRNGs.
+    """
+
+    def __init__(
+        self,
+        severity: float,
+        amplitude: float = 0.05,
+        period_s: float = 0.05,
+        name: str = "supply_ripple",
+    ) -> None:
+        super().__init__(name, severity)
+        if amplitude < 0.0:
+            raise ValueError(f"amplitude must be non-negative, got {amplitude}")
+        if period_s <= 0.0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.amplitude = float(amplitude)
+        self.period_s = float(period_s)
+
+    def effect_at(self, elapsed_s: float) -> FaultEffect:
+        if self.severity == 0.0:
+            return NOMINAL_EFFECT
+        return FaultEffect(
+            modulation=SinusoidalModulation(
+                amplitude=self.severity * self.amplitude,
+                period_ps=self.period_s * 1.0e12,
+            ),
+            injection_strength=self.severity,
+        )
+
+
+class TemperatureRampFault(FaultScenario):
+    """Slow junction heating (cooling failure, or a heat-gun attack).
+
+    The temperature climbs linearly from ``start_c`` toward
+    ``start_c + severity * max_rise_c`` over ``ramp_s`` seconds and then
+    holds.  Moderate severities only nudge the delay model (the paper's
+    "other knob", EXT6); at full severity the plateau crosses the
+    supervised runtime's thermal upset threshold.
+    """
+
+    def __init__(
+        self,
+        severity: float,
+        ramp_s: float = 0.5,
+        start_c: float = NOMINAL_TEMPERATURE_C,
+        max_rise_c: float = 125.0,
+        name: str = "temperature_ramp",
+    ) -> None:
+        super().__init__(name, severity)
+        if ramp_s <= 0.0:
+            raise ValueError(f"ramp duration must be positive, got {ramp_s}")
+        if max_rise_c <= 0.0:
+            raise ValueError(f"max rise must be positive, got {max_rise_c}")
+        self.ramp_s = float(ramp_s)
+        self.start_c = float(start_c)
+        self.max_rise_c = float(max_rise_c)
+
+    def temperature_at(self, elapsed_s: float) -> float:
+        progress = min(max(elapsed_s, 0.0) / self.ramp_s, 1.0)
+        return self.start_c + progress * self.severity * self.max_rise_c
+
+    def effect_at(self, elapsed_s: float) -> FaultEffect:
+        if self.severity == 0.0:
+            return NOMINAL_EFFECT
+        return FaultEffect(temperature_c=self.temperature_at(elapsed_s))
+
+
+class GlitchBurstFault(FaultScenario):
+    """Bursts of transient glitches on the sampling flip-flop.
+
+    During each burst (``burst_duty`` of every ``burst_period_s``), a
+    captured bit is forced to ``upset_value`` with probability
+    ``severity``.  ``local=True`` models a targeted glitch on the
+    attacked sampler only; ``local=False`` a shared-net glitch hitting
+    every sampler — the case where failover alone cannot help and the
+    XOR-degraded mode earns its keep.
+    """
+
+    def __init__(
+        self,
+        severity: float,
+        burst_period_s: float = 0.2,
+        burst_duty: float = 1.0,
+        upset_value: int = 0,
+        local: bool = False,
+        name: str = "glitch_burst",
+    ) -> None:
+        super().__init__(name, severity)
+        if burst_period_s <= 0.0:
+            raise ValueError(f"burst period must be positive, got {burst_period_s}")
+        if not (0.0 < burst_duty <= 1.0):
+            raise ValueError(f"burst duty must be in (0, 1], got {burst_duty}")
+        self.burst_period_s = float(burst_period_s)
+        self.burst_duty = float(burst_duty)
+        self.upset_value = int(upset_value)
+        self.local = bool(local)
+
+    def burst_active(self, elapsed_s: float) -> bool:
+        phase = math.fmod(max(elapsed_s, 0.0), self.burst_period_s) / self.burst_period_s
+        return phase < self.burst_duty
+
+    def effect_at(self, elapsed_s: float) -> FaultEffect:
+        if self.severity == 0.0 or not self.burst_active(elapsed_s):
+            return NOMINAL_EFFECT
+        return FaultEffect(
+            upset_fraction=self.severity,
+            upset_value=self.upset_value,
+            upset_local=self.local,
+        )
+
+
+def standard_fault(kind: str, severity: float, **kwargs) -> FaultScenario:
+    """Build one of the library faults by kind name (see ``FAULT_KINDS``)."""
+    builders = {
+        "stuck": StuckStageFault,
+        "brownout": VoltageBrownoutFault,
+        "ripple": SupplyRippleFault,
+        "temperature": TemperatureRampFault,
+        "glitch": GlitchBurstFault,
+    }
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+        ) from None
+    return builder(severity, **kwargs)
+
+
+def demo_schedule(
+    severity: float = 1.0, onset_s: float = 0.25, name: Optional[str] = None
+) -> FaultSchedule:
+    """The composite campaign timeline used by the CLI and the tutorial.
+
+    A brownout window, then a recovery gap, then a shared-net glitch
+    burst — exercising alarm, failover and degraded-mode paths in one
+    supervised run.
+    """
+    brownout = VoltageBrownoutFault(severity)
+    glitch = GlitchBurstFault(min(0.5 * severity + 0.2, 1.0), local=False)
+    return FaultSchedule(
+        [
+            ScheduledFault(brownout, start_s=onset_s, stop_s=onset_s + 0.6),
+            ScheduledFault(glitch, start_s=onset_s + 1.2, stop_s=onset_s + 1.8),
+        ],
+        name=name or "demo_composite",
+    )

@@ -13,6 +13,10 @@ subpackage is the downstream consumer that makes the comparison concrete:
 * :mod:`repro.trng.postprocessing` — von Neumann and XOR correctors.
 * :mod:`repro.trng.attacks` — supply-manipulation attack scenarios used
   to compare the robustness of IRO- and STR-based generators.
+* :mod:`repro.trng.supervisor` — the supervised runtime: an AIS-31-style
+  state machine running the health tests continuously and recovering
+  from alarms (retry, restart, failover, XOR-degraded mode, total
+  failure), driven by :mod:`repro.faults` scenarios.
 """
 
 from repro.trng.sampler import JitteryClock, sample_clock_at
@@ -49,6 +53,19 @@ from repro.trng.attacks import (
     measure_deterministic_response,
     run_supply_sweep_attack,
     run_ripple_attack,
+)
+from repro.trng.supervisor import (
+    LOCK_THRESHOLD,
+    THERMAL_UPSET_C,
+    BlockRecord,
+    EventLog,
+    RecoveryPolicy,
+    RingChannel,
+    SupervisedRunResult,
+    SupervisedTrng,
+    SupervisorEvent,
+    TotalFailureError,
+    TrngState,
 )
 
 __all__ = [
@@ -91,4 +108,15 @@ __all__ = [
     "measure_deterministic_response",
     "run_supply_sweep_attack",
     "run_ripple_attack",
+    "LOCK_THRESHOLD",
+    "THERMAL_UPSET_C",
+    "BlockRecord",
+    "EventLog",
+    "RecoveryPolicy",
+    "RingChannel",
+    "SupervisedRunResult",
+    "SupervisedTrng",
+    "SupervisorEvent",
+    "TotalFailureError",
+    "TrngState",
 ]

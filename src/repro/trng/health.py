@@ -93,61 +93,125 @@ class HealthMonitor:
     # streaming
     # ------------------------------------------------------------------
     def ingest(self, bits: Sequence[int]) -> List[HealthAlarm]:
-        """Process a chunk of bits; return alarms raised by this chunk."""
+        """Process a chunk of bits; return alarms raised by this chunk.
+
+        Vectorized: repetition counting works on the run-length encoding
+        of the chunk and adaptive proportion on reshaped window sums, so
+        the cost is dominated by a few numpy passes instead of a Python
+        loop per bit.  Alarm positions, details and ordering are
+        identical to a bit-at-a-time evaluation (within one bit the
+        repetition test fires before the proportion test).
+        """
         array = np.asarray(bits, dtype=int)
         if array.ndim != 1:
             raise ValueError("bits must be one-dimensional")
         if array.size and not np.all((array == 0) | (array == 1)):
             raise ValueError("bits must be 0 or 1")
-        new_alarms: List[HealthAlarm] = []
-        for bit in array:
-            bit = int(bit)
-            self._ingest_repetition(bit, new_alarms)
-            self._ingest_proportion(bit, new_alarms)
-            self._position += 1
+        if array.size == 0:
+            return []
+        new_alarms = self._repetition_alarms(array) + self._proportion_alarms(array)
+        new_alarms.sort(
+            key=lambda alarm: (
+                alarm.position,
+                0 if alarm.test_name == "repetition_count" else 1,
+            )
+        )
+        self._position += array.size
         self.alarms.extend(new_alarms)
         return new_alarms
 
-    def _ingest_repetition(self, bit: int, alarms: List[HealthAlarm]) -> None:
-        if bit == self._last_bit:
-            self._run_length += 1
-        else:
-            self._last_bit = bit
-            self._run_length = 1
-        if self._run_length == self.repetition_cutoff:
-            alarms.append(
-                HealthAlarm(
-                    test_name="repetition_count",
-                    position=self._position,
-                    detail=f"{self._run_length} identical bits (cutoff "
-                    f"{self.repetition_cutoff})",
-                )
-            )
-            # Hardware restarts the counter after an alarm.
-            self._run_length = 0
-            self._last_bit = -1
+    def _repetition_alarms(self, array: np.ndarray) -> List[HealthAlarm]:
+        """Run-length-encoded repetition-count test over one chunk.
 
-    def _ingest_proportion(self, bit: int, alarms: List[HealthAlarm]) -> None:
-        if self._window_position == 0:
-            self._window_reference = bit
-            self._window_count = 1
-            self._window_position = 1
-            return
-        if bit == self._window_reference:
-            self._window_count += 1
-        self._window_position += 1
-        if self._window_position >= self.window:
-            if self._window_count >= self.proportion_cutoff:
+        Within a maximal run, the hardware counter restarts after every
+        alarm, so a run carrying ``prior`` bits from the previous chunk
+        alarms every ``cutoff`` counts of the virtual total and leaves
+        ``total % cutoff`` on the counter.
+        """
+        cutoff = self.repetition_cutoff
+        base = self._position
+        boundaries = np.flatnonzero(array[1:] != array[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        lengths = np.diff(np.concatenate((starts, [array.size])))
+        priors = np.zeros(starts.size, dtype=int)
+        if int(array[0]) == self._last_bit:
+            priors[0] = self._run_length
+        totals = lengths + priors
+        detail = f"{cutoff} identical bits (cutoff {cutoff})"
+        alarms: List[HealthAlarm] = []
+        for index in np.flatnonzero(totals >= cutoff):
+            start = int(starts[index])
+            prior = int(priors[index])
+            total = int(totals[index])
+            for k in range(1, total // cutoff + 1):
+                alarms.append(
+                    HealthAlarm(
+                        test_name="repetition_count",
+                        position=base + start - prior + k * cutoff - 1,
+                        detail=detail,
+                    )
+                )
+        remainder = int(totals[-1]) % cutoff
+        if remainder == 0:
+            # The chunk's last bit raised an alarm: counter restarted.
+            self._last_bit = -1
+            self._run_length = 0
+        else:
+            self._last_bit = int(array[-1])
+            self._run_length = remainder
+        return alarms
+
+    def _proportion_alarms(self, array: np.ndarray) -> List[HealthAlarm]:
+        """Tumbling-window adaptive-proportion test over one chunk.
+
+        Completes the partially filled carry window first, then checks
+        every full window via one reshape + row sum, and finally starts
+        the next carry window from the chunk's tail.
+        """
+        window = self.window
+        cutoff = self.proportion_cutoff
+        base = self._position
+        alarms: List[HealthAlarm] = []
+        offset = 0
+        if self._window_position > 0:
+            head = array[: window - self._window_position]
+            self._window_count += int(np.sum(head == self._window_reference))
+            self._window_position += head.size
+            if self._window_position < window:
+                return alarms
+            if self._window_count >= cutoff:
                 alarms.append(
                     HealthAlarm(
                         test_name="adaptive_proportion",
-                        position=self._position,
-                        detail=f"{self._window_count}/{self.window} occurrences "
-                        f"of {self._window_reference} (cutoff "
-                        f"{self.proportion_cutoff})",
+                        position=base + head.size - 1,
+                        detail=f"{self._window_count}/{window} occurrences "
+                        f"of {self._window_reference} (cutoff {cutoff})",
                     )
                 )
             self._window_position = 0
+            offset = head.size
+        remaining = array[offset:]
+        full = remaining.size // window
+        if full:
+            blocks = remaining[: full * window].reshape(full, window)
+            references = blocks[:, 0]
+            ones = blocks.sum(axis=1)
+            counts = np.where(references == 1, ones, window - ones)
+            for index in np.flatnonzero(counts >= cutoff):
+                alarms.append(
+                    HealthAlarm(
+                        test_name="adaptive_proportion",
+                        position=base + offset + (int(index) + 1) * window - 1,
+                        detail=f"{int(counts[index])}/{window} occurrences "
+                        f"of {int(references[index])} (cutoff {cutoff})",
+                    )
+                )
+        tail = remaining[full * window :]
+        if tail.size:
+            self._window_reference = int(tail[0])
+            self._window_count = int(np.sum(tail == tail[0]))
+            self._window_position = int(tail.size)
+        return alarms
 
     # ------------------------------------------------------------------
     # summary

@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.simulation.noise import SeedLike, make_rng
+
 
 class JitteryClock:
     """A square-wave clock reconstructed from consecutive period samples.
@@ -90,7 +92,7 @@ def sample_clock_at(
     sample_count: int,
     first_sample_ps: float = 0.0,
     metastability_window_ps: float = 0.0,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """D flip-flop sampling: read the clock every ``reference_period_ps``.
 
@@ -119,8 +121,6 @@ def sample_clock_at(
     sample_times = first_sample_ps + reference_period_ps * np.arange(sample_count)
     bits = clock.value_at(sample_times).astype(int)
     if metastability_window_ps > 0.0:
-        from repro.simulation.noise import make_rng
-
         rng = make_rng(seed)
         unstable = clock.distance_to_edge_ps(sample_times) < metastability_window_ps
         count = int(np.count_nonzero(unstable))

@@ -1,10 +1,16 @@
 """Characterization campaigns."""
 
 import json
+import re
 
 import pytest
 
-from repro.core.campaign import CampaignReport, RingSpec, run_campaign
+from repro.core.campaign import (
+    CampaignReport,
+    RingCampaignResult,
+    RingSpec,
+    run_campaign,
+)
 
 
 class TestRingSpec:
@@ -81,3 +87,75 @@ class TestRunCampaign:
     def test_empty_specs_rejected(self, bank):
         with pytest.raises(ValueError):
             run_campaign([], bank=bank)
+
+
+def _synthetic_result(label: str, frequency_mhz: float) -> RingCampaignResult:
+    return RingCampaignResult(
+        label=label,
+        nominal_frequency_mhz=frequency_mhz,
+        delta_f=0.49,
+        linearity_r2=0.995,
+        sigma_rel=0.0123,
+        board_frequencies_mhz=[frequency_mhz - 1.0, frequency_mhz + 1.0],
+        period_jitter_ps=9.42,
+        diffusion_sigma_ps=5.5,
+        trng_reference_period_ps=94.1e6,
+        trng_entropy_bound=0.9971,
+    )
+
+
+@pytest.fixture()
+def synthetic_report():
+    return CampaignReport(
+        results=[
+            _synthetic_result("IRO 5C", 375.9),
+            _synthetic_result("STR 48C", 555.5),
+        ],
+        voltages_v=[1.0, 1.2, 1.4],
+        board_count=2,
+        q_target=0.2,
+    )
+
+
+class TestCampaignReportContainer:
+    """Container behaviour on a synthetic report (no campaign run)."""
+
+    def test_result_for_hit(self, synthetic_report):
+        assert synthetic_report.result_for("STR 48C").nominal_frequency_mhz == 555.5
+
+    def test_result_for_miss_raises_keyerror(self, synthetic_report):
+        with pytest.raises(KeyError, match="LC TANK"):
+            synthetic_report.result_for("LC TANK")
+
+    def test_to_json_round_trip(self, synthetic_report):
+        payload = json.loads(synthetic_report.to_json())
+        assert payload["voltages_v"] == [1.0, 1.2, 1.4]
+        assert payload["board_count"] == 2
+        assert payload["q_target"] == 0.2
+        assert [entry["label"] for entry in payload["results"]] == ["IRO 5C", "STR 48C"]
+        rebuilt = [RingCampaignResult(**entry) for entry in payload["results"]]
+        assert rebuilt == synthetic_report.results
+
+    def test_render_column_integrity(self, synthetic_report):
+        lines = synthetic_report.render().splitlines()
+        header, separator, *body = lines
+        columns = re.split(r"\s{2,}", header)
+        assert columns == [
+            "ring",
+            "F [MHz]",
+            "delta F",
+            "sigma_rel",
+            "sigma_p [ps]",
+            "diffusion [ps]",
+            "T_ref(Q) [us]",
+            "H bound",
+        ]
+        assert set(separator) == {"-"}
+        assert len(body) == 2
+        for line, result in zip(body, synthetic_report.results):
+            cells = re.split(r"\s{2,}", line)
+            assert len(cells) == len(columns)
+            assert cells[0] == result.label
+            assert cells[1] == f"{result.nominal_frequency_mhz:.1f}"
+            assert cells[2] == "49.0%"
+            assert cells[7] == "0.9971"

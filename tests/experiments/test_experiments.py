@@ -34,6 +34,7 @@ class TestRegistry:
             "EXT7",
             "EXT8",
             "EXT9",
+            "EXT10",
             "ABL1",
             "ABL2",
             "ABL3",
@@ -48,6 +49,16 @@ class TestRegistry:
     def test_unknown_id(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             get_experiment("FIG99")
+
+    def test_experiment_title(self):
+        from repro.experiments.registry import experiment_title
+
+        assert experiment_title("FIG4") == "token and bubble propagation (paper Fig. 4)"
+        # case-insensitive, id prefix stripped, no trailing period
+        title = experiment_title("ext10")
+        assert title.startswith("fault-injection campaign")
+        assert "EXT10" not in title
+        assert not title.endswith(".")
 
 
 class TestResultContainer:
@@ -153,6 +164,16 @@ class TestShrunkExperiments:
     def test_abl3(self):
         result = run_experiment("ABL3", board_count=24)
         assert result.all_checks_pass, result.failed_checks
+
+    def test_ext10(self):
+        result = run_experiment("EXT10", severities=(0.5, 1.0))
+        assert result.all_checks_pass, result.failed_checks
+        # one row per fault kind x severity
+        assert len(result.rows) == 10
+        # every fault kind detected at its highest severity
+        max_rows = [row for row in result.rows if row[1] == "1.00"]
+        assert len(max_rows) == 5
+        assert all(row[2] == "yes" for row in max_rows)
 
 
 class TestSerialization:

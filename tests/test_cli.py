@@ -21,6 +21,15 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "TAB1" in output and "FIG12" in output and "ABL3" in output
 
+    def test_list_prints_titles_not_module_names(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        # real experiment titles, not module filenames
+        assert "token and bubble propagation (paper Fig. 4)" in output
+        assert "fault-injection campaign over the supervised runtime" in output
+        assert "fig04_propagation" not in output
+        assert "ext10_fault_recovery" not in output
+
     def test_calibration(self, capsys):
         assert main(["calibration"]) == 0
         output = capsys.readouterr().out
@@ -47,3 +56,50 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "delta F" in output
         assert "STR more robust to voltage" in output
+
+
+class TestFaultsCommand:
+    def test_brownout_failover(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--fault",
+                    "brownout",
+                    "--severity",
+                    "0.95",
+                    "--seed",
+                    "11",
+                    "--bits",
+                    "6144",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "voltage_brownout" in output
+        assert "alarm" in output and "failover" in output
+        assert "final state:       online" in output
+
+    def test_stuck_no_backup_total_failure(self, capsys):
+        assert (
+            main(
+                ["faults", "--fault", "stuck", "--no-backup", "--seed", "7"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "total_failure" in output
+        assert "backups: none" in output
+
+    def test_demo_schedule_runs(self, capsys):
+        assert main(["faults", "--bits", "4096"]) == 0
+        output = capsys.readouterr().out
+        assert "demo_composite" in output
+        assert "startup" in output and "online" in output
+
+    def test_matrix_mode(self, capsys):
+        assert main(["faults", "--matrix"]) == 0
+        output = capsys.readouterr().out
+        assert "[EXT10]" in output
+        assert "deepest recovery" in output

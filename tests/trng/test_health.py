@@ -109,3 +109,137 @@ class TestHealthMonitor:
         healthy = monitor.check_block(bits)
         # Either a long run trips the RCT, or the window proportion trips.
         assert not healthy or 0.4 < np.mean(bits) < 0.6
+
+
+class ScalarHealthMonitor(HealthMonitor):
+    """Bit-at-a-time reference implementation of ``ingest``.
+
+    This is the original scalar algorithm the vectorized monitor must
+    reproduce exactly — alarms, positions, details, ordering and the
+    carry state across arbitrary chunk boundaries.
+    """
+
+    def ingest(self, bits):
+        from repro.trng.health import HealthAlarm
+
+        array = np.asarray(bits, dtype=int)
+        if array.ndim != 1:
+            raise ValueError("bits must be one-dimensional")
+        if array.size and not np.all((array == 0) | (array == 1)):
+            raise ValueError("bits must be 0 or 1")
+        new_alarms = []
+        for bit in array:
+            bit = int(bit)
+            # repetition count
+            if bit == self._last_bit:
+                self._run_length += 1
+            else:
+                self._last_bit = bit
+                self._run_length = 1
+            if self._run_length == self.repetition_cutoff:
+                new_alarms.append(
+                    HealthAlarm(
+                        test_name="repetition_count",
+                        position=self._position,
+                        detail=f"{self._run_length} identical bits (cutoff "
+                        f"{self.repetition_cutoff})",
+                    )
+                )
+                self._run_length = 0
+                self._last_bit = -1
+            # adaptive proportion
+            if self._window_position == 0:
+                self._window_reference = bit
+                self._window_count = 1
+                self._window_position = 1
+            else:
+                if bit == self._window_reference:
+                    self._window_count += 1
+                self._window_position += 1
+                if self._window_position >= self.window:
+                    if self._window_count >= self.proportion_cutoff:
+                        new_alarms.append(
+                            HealthAlarm(
+                                test_name="adaptive_proportion",
+                                position=self._position,
+                                detail=f"{self._window_count}/{self.window} "
+                                f"occurrences of {self._window_reference} (cutoff "
+                                f"{self.proportion_cutoff})",
+                            )
+                        )
+                    self._window_position = 0
+            self._position += 1
+        self.alarms.extend(new_alarms)
+        return new_alarms
+
+
+class TestVectorizedEquivalence:
+    """The vectorized ``ingest`` must match the scalar reference exactly."""
+
+    def _assert_equivalent(self, bits, chunk_rng, window=64, entropy=0.9):
+        vectorized = HealthMonitor(claimed_min_entropy=entropy, window=window)
+        scalar = ScalarHealthMonitor(claimed_min_entropy=entropy, window=window)
+        position = 0
+        while position < len(bits):
+            step = int(chunk_rng.integers(1, 3 * window))
+            chunk = bits[position : position + step]
+            assert vectorized.ingest(chunk) == scalar.ingest(chunk)
+            position += step
+        assert vectorized.alarms == scalar.alarms
+        assert vectorized._position == scalar._position
+        assert vectorized._last_bit == scalar._last_bit
+        assert vectorized._run_length == scalar._run_length
+        # carry-window state only matters while a window is open
+        assert vectorized._window_position == scalar._window_position
+        if vectorized._window_position > 0:
+            assert vectorized._window_reference == scalar._window_reference
+            assert vectorized._window_count == scalar._window_count
+
+    def test_unbiased_stream(self):
+        rng = np.random.default_rng(10)
+        self._assert_equivalent(rng.integers(0, 2, 5_000), rng)
+
+    def test_biased_stream_raises_matching_proportion_alarms(self):
+        rng = np.random.default_rng(11)
+        self._assert_equivalent((rng.random(5_000) < 0.8).astype(int), rng)
+
+    def test_sparse_flips_raise_matching_repetition_alarms(self):
+        rng = np.random.default_rng(12)
+        bits = np.zeros(5_000, dtype=int)
+        bits[rng.random(5_000) < 0.02] = 1
+        self._assert_equivalent(bits, rng)
+
+    def test_constant_stream(self):
+        rng = np.random.default_rng(13)
+        self._assert_equivalent(np.ones(2_000, dtype=int), rng)
+
+    def test_run_straddling_chunk_boundary(self):
+        rng = np.random.default_rng(14)
+        bits = np.concatenate(
+            [np.zeros(150, dtype=int), rng.integers(0, 2, 700), np.ones(90, dtype=int)]
+        )
+        self._assert_equivalent(bits, rng)
+
+    def test_single_bit_chunks(self):
+        bits = np.concatenate([np.zeros(40, dtype=int), np.array([1, 0, 1, 0, 1])])
+        vectorized = HealthMonitor(window=16)
+        scalar = ScalarHealthMonitor(window=16)
+        for bit in bits:
+            assert vectorized.ingest([int(bit)]) == scalar.ingest([int(bit)])
+        assert vectorized.alarms == scalar.alarms
+
+    def test_empty_chunk_is_a_no_op(self):
+        monitor = HealthMonitor()
+        monitor.ingest(np.zeros(10, dtype=int))
+        state = (monitor._position, monitor._last_bit, monitor._run_length)
+        assert monitor.ingest(np.zeros(0, dtype=int)) == []
+        assert (monitor._position, monitor._last_bit, monitor._run_length) == state
+
+    def test_interleaved_order_within_one_bit(self):
+        """When both tests fire on the same bit, repetition comes first."""
+        monitor = HealthMonitor(claimed_min_entropy=1.0, window=21)  # both cutoffs 21
+        alarms = monitor.ingest(np.zeros(21, dtype=int))
+        names = [alarm.test_name for alarm in alarms]
+        positions = [alarm.position for alarm in alarms]
+        assert names == ["repetition_count", "adaptive_proportion"]
+        assert positions == [20, 20]

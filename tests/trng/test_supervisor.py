@@ -1,0 +1,286 @@
+"""Supervised TRNG runtime: state machine, recovery ladder, event log."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import RingSpec
+from repro.faults import (
+    FaultSchedule,
+    GlitchBurstFault,
+    ScheduledFault,
+    StuckStageFault,
+    SupplyRippleFault,
+    VoltageBrownoutFault,
+)
+from repro.fpga.board import Board
+from repro.trng.health import HealthMonitor
+from repro.trng.supervisor import (
+    LOCK_THRESHOLD,
+    EventLog,
+    RecoveryPolicy,
+    RingChannel,
+    SupervisedTrng,
+    SupervisorEvent,
+    TotalFailureError,
+    TrngState,
+)
+
+IRO5 = RingSpec("iro", 5)
+STR48 = RingSpec("str", 48)
+
+
+@pytest.fixture(scope="module")
+def board():
+    return Board()
+
+
+def scheduled(fault, start_s=0.2):
+    return FaultSchedule([ScheduledFault(fault, start_s=start_s)], name=fault.name)
+
+
+class TestRingChannel:
+    def test_nominal_sampling_is_healthy(self, board):
+        channel = RingChannel(IRO5, board)
+        bits, status = channel.sample_block(4096, np.random.default_rng(0))
+        assert status == "ok"
+        assert HealthMonitor().check_block(bits)
+
+    def test_oscillation_death_freezes_output(self, board):
+        from repro.faults import FaultEffect
+
+        channel = RingChannel(IRO5, board)
+        bits, status = channel.sample_block(
+            256, np.random.default_rng(0), FaultEffect(oscillation_dead=True)
+        )
+        assert status == "oscillation_dead"
+        assert len(set(bits.tolist())) == 1
+
+    def test_injection_lock_asymmetry(self, board):
+        """The same aggressor locks the IRO but not the STR — the
+        supply-weight mechanism behind the paper's C4/C5 claims."""
+        from repro.faults import FaultEffect
+
+        iro = RingChannel(IRO5, board)
+        str_channel = RingChannel(STR48, board)
+        assert iro.supply_weight > LOCK_THRESHOLD > str_channel.supply_weight
+        effect = FaultEffect(injection_strength=0.95)
+        _, iro_status = iro.sample_block(256, np.random.default_rng(0), effect)
+        str_bits, str_status = str_channel.sample_block(
+            4096, np.random.default_rng(0), effect
+        )
+        assert iro_status == "injection_locked"
+        assert str_status == "ok"
+        assert HealthMonitor().check_block(str_bits)
+
+    def test_thermal_upset(self, board):
+        from repro.faults import FaultEffect
+
+        channel = RingChannel(IRO5, board)
+        _, status = channel.sample_block(
+            64, np.random.default_rng(0), FaultEffect(temperature_c=130.0)
+        )
+        assert status == "thermal_upset"
+
+    def test_operating_point_rebuild(self, board):
+        from repro.faults import FaultEffect
+
+        channel = RingChannel(IRO5, board)
+        bits, status = channel.sample_block(
+            4096, np.random.default_rng(0), FaultEffect(supply_v=1.0)
+        )
+        assert status == "ok"
+        # the degraded operating point still delivers usable bits
+        assert 0.3 < bits.mean() < 0.7
+
+    def test_upsets_force_bits(self, board):
+        from repro.faults import FaultEffect
+
+        channel = RingChannel(IRO5, board)
+        bits, status = channel.sample_block(
+            2048,
+            np.random.default_rng(0),
+            FaultEffect(upset_fraction=1.0, upset_value=1),
+        )
+        assert status == "ok"  # the ring itself is fine
+        assert bits.min() == 1
+
+
+class TestEventLog:
+    def test_query_helpers(self):
+        log = EventLog()
+        log.append(SupervisorEvent("startup", 0.0, 0, "startup", "startup"))
+        log.append(SupervisorEvent("online", 0.1, 10, "startup", "online"))
+        log.append(SupervisorEvent("alarm", 0.2, 20, "online", "alarmed", "tests=rct"))
+        assert len(log) == 3
+        assert log.kinds() == ["startup", "online", "alarm"]
+        assert log.first_of_kind("alarm").bit_position == 20
+        assert log.of_kind("missing") == []
+        assert log.first_of_kind("missing") is None
+        assert log[1].kind == "online"
+
+    def test_render(self):
+        log = EventLog()
+        log.append(SupervisorEvent("alarm", 0.25, 512, "online", "alarmed", "tests=apt"))
+        text = log.render()
+        assert "alarm" in text and "online->alarmed" in text and "tests=apt" in text
+
+
+class TestPolicyValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(startup_blocks=0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_retries=-1)
+
+    def test_bad_block_size(self, board):
+        with pytest.raises(ValueError):
+            SupervisedTrng(IRO5, board=board, block_bits=8)
+
+    def test_bad_budget(self, board):
+        with pytest.raises(ValueError):
+            SupervisedTrng(IRO5, board=board).run(0)
+
+
+class TestSupervisedTrng:
+    def test_clean_run_goes_online_and_fills_budget(self, board):
+        trng = SupervisedTrng(IRO5, board=board)
+        result = trng.run(4096, seed=1)
+        assert result.final_state is TrngState.ONLINE
+        assert result.bit_count >= 4096
+        assert result.events.kinds() == ["startup", "online"]
+        assert HealthMonitor().check_block(result.bits)
+        # ground truth recorded per block
+        assert all(record.status == "ok" for record in result.blocks)
+        emitted = [record for record in result.blocks if record.emitted]
+        assert sum(record.size for record in emitted) == result.bit_count
+
+    def test_brownout_fails_over_to_str_backup(self, board):
+        """Acceptance scenario 1: the brownout locks the IRO primary,
+        the health tests alarm, recovery walks retry -> restart ->
+        failover to the STR spec, and post-failover bits are healthy."""
+        trng = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        )
+        result = trng.run(6144, scenario=scheduled(VoltageBrownoutFault(0.95)), seed=11)
+        assert result.final_state is TrngState.ONLINE
+        kinds = result.events.kinds()
+        assert kinds == [
+            "startup",
+            "online",
+            "alarm",
+            "retry_failed",
+            "retry_failed",
+            "ring_restart",
+            "restart_failed",
+            "failover",
+        ]
+        failover = result.events.first_of_kind("failover")
+        assert failover.detail == "to=STR 48C"
+        assert failover.state_to == "online"
+        # resumed emission passes check_block
+        resumed = result.emitted_bits_after(failover.bit_position)
+        assert resumed.size >= 2048
+        assert HealthMonitor().check_block(resumed)
+
+    def test_oscillation_death_without_backup_is_total_failure(self, board):
+        """Acceptance scenario 2: oscillation death with no viable
+        backup ends in TOTAL_FAILURE with zero bits after the alarm."""
+        trng = SupervisedTrng(IRO5, board=board, policy=RecoveryPolicy())
+        result = trng.run(20_000, scenario=scheduled(StuckStageFault()), seed=7)
+        assert result.final_state is TrngState.TOTAL_FAILURE
+        kinds = result.events.kinds()
+        assert kinds[:3] == ["startup", "online", "alarm"]
+        assert kinds[-1] == "total_failure"
+        assert "failover" not in kinds and "degraded_mode" not in kinds
+        assert result.first_alarm_position is not None
+        assert result.emitted_after_first_alarm == 0
+        assert result.bit_count < 20_000
+
+    def test_total_failure_latches_until_reset(self, board):
+        trng = SupervisedTrng(IRO5, board=board, policy=RecoveryPolicy())
+        trng.run(20_000, scenario=scheduled(StuckStageFault()), seed=7)
+        assert trng.state is TrngState.TOTAL_FAILURE
+        with pytest.raises(TotalFailureError):
+            trng.run(100)
+        trng.reset()
+        result = trng.run(1024, seed=3)
+        assert result.final_state is TrngState.ONLINE
+        assert result.bit_count >= 1024
+
+    def test_ripple_attack_failover(self, board):
+        trng = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        )
+        result = trng.run(6144, scenario=scheduled(SupplyRippleFault(1.0)), seed=21)
+        assert result.final_state is TrngState.ONLINE
+        assert result.events.first_of_kind("failover") is not None
+
+    def test_shared_glitch_reaches_degraded_mode(self, board):
+        """A shared-net glitch hits every sampler, so failover cannot
+        help; the XOR of the two biased survivors is healthy enough."""
+        trng = SupervisedTrng(
+            IRO5,
+            board=board,
+            policy=RecoveryPolicy(max_retries=1, backup_specs=(STR48,)),
+        )
+        scenario = scheduled(GlitchBurstFault(0.5, local=False))
+        result = trng.run(8192, scenario=scenario, seed=31)
+        kinds = result.events.kinds()
+        assert "failover_failed" in kinds
+        assert "degraded_mode" in kinds
+        degraded = result.events.first_of_kind("degraded_mode")
+        assert degraded.detail == "xor(IRO 5C+STR 48C)"
+        degraded_blocks = [
+            record for record in result.blocks if record.state == "degraded"
+        ]
+        assert all(record.channel.startswith("xor(") for record in degraded_blocks)
+
+    def test_startup_failure_runs_recovery(self, board):
+        """A fault active from t=0 fails the startup test and recovery
+        runs before anything is emitted."""
+        trng = SupervisedTrng(IRO5, board=board, policy=RecoveryPolicy())
+        result = trng.run(
+            4096, scenario=scheduled(StuckStageFault(), start_s=0.0), seed=41
+        )
+        assert result.final_state is TrngState.TOTAL_FAILURE
+        assert result.bit_count == 0
+        assert result.events.kinds()[:2] == ["startup", "alarm"]
+
+    def test_transient_fault_recovers_by_retry(self, board):
+        """A short glitch burst clears by itself: bounded retry wins
+        without failover."""
+        scenario = FaultSchedule(
+            [
+                ScheduledFault(
+                    GlitchBurstFault(1.0, local=True), start_s=0.2, stop_s=0.35
+                )
+            ],
+            name="transient",
+        )
+        trng = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        )
+        result = trng.run(8192, scenario=scenario, seed=51)
+        assert result.final_state is TrngState.ONLINE
+        kinds = result.events.kinds()
+        assert "alarm" in kinds
+        recovered = result.events.first_of_kind("recovered")
+        assert recovered is not None and "retry" in recovered.detail
+        assert "failover" not in kinds
+
+    def test_alarmed_blocks_never_emitted(self, board):
+        trng = SupervisedTrng(IRO5, board=board, policy=RecoveryPolicy())
+        result = trng.run(20_000, scenario=scheduled(StuckStageFault()), seed=7)
+        for record in result.blocks:
+            if record.alarm_count > 0:
+                assert not record.emitted
+
+    def test_event_log_timeline_is_monotone(self, board):
+        trng = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        )
+        result = trng.run(6144, scenario=scheduled(VoltageBrownoutFault(0.95)), seed=11)
+        times = [event.time_s for event in result.events]
+        positions = [event.bit_position for event in result.events]
+        assert times == sorted(times)
+        assert positions == sorted(positions)
