@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI benchmark gate: fail when a tracked benchmark regresses.
+
+Compares the mean timings in a ``pytest-benchmark`` JSON export against
+the committed reference timings and exits non-zero when any tracked
+benchmark is slower than ``factor`` times its reference::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json \
+        -k "fig11 or fig12 or ext10"
+    python benchmarks/check_regression.py bench.json \
+        benchmarks/reference_timings.json
+
+The reference file maps benchmark names to reference mean seconds::
+
+    {"bench_fig11": 5.1, "bench_fig12": 8.4, "bench_ext10": 0.9}
+
+Reference numbers are deliberately coarse (one significant margin, not a
+laptop-precise baseline): the gate exists to catch order-of-magnitude
+mistakes — an accidentally quadratic loop, a serial path swallowing the
+pool — not 10% scheduler noise.  The allowed factor can be widened for a
+known-slow runner with ``--factor`` or ``REPRO_BENCH_FACTOR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+
+def load_means(bench_json_path: str) -> Dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark export."""
+    with open(bench_json_path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    means = {}
+    for entry in document.get("benchmarks", []):
+        means[entry["name"]] = float(entry["stats"]["mean"])
+    return means
+
+
+def check(
+    current: Dict[str, float], reference: Dict[str, float], factor: float
+) -> int:
+    """Print a comparison table; return the number of failures."""
+    failures = 0
+    width = max(len(name) for name in {**reference, **current}) if reference or current else 4
+    print(f"{'benchmark'.ljust(width)}  {'ref [s]':>9}  {'now [s]':>9}  {'ratio':>6}  verdict")
+    for name in sorted(reference):
+        ref = reference[name]
+        if name not in current:
+            print(f"{name.ljust(width)}  {ref:9.3f}  {'-':>9}  {'-':>6}  MISSING")
+            failures += 1
+            continue
+        now = current[name]
+        ratio = now / ref if ref > 0 else float("inf")
+        verdict = "ok" if ratio <= factor else f"REGRESSION (> {factor:g}x)"
+        if ratio > factor:
+            failures += 1
+        print(f"{name.ljust(width)}  {ref:9.3f}  {now:9.3f}  {ratio:6.2f}  {verdict}")
+    for name in sorted(set(current) - set(reference)):
+        print(f"{name.ljust(width)}  {'-':>9}  {current[name]:9.3f}  {'-':>6}  untracked")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("reference_json", help="committed reference timings")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_FACTOR", "2.0")),
+        help="allowed slowdown vs reference (default: 2.0, env REPRO_BENCH_FACTOR)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.bench_json)
+    with open(args.reference_json, "r", encoding="utf-8") as handle:
+        reference = {name: float(value) for name, value in json.load(handle).items()}
+
+    failures = check(current, reference, args.factor)
+    if failures:
+        print(f"\n{failures} benchmark(s) failed the {args.factor:g}x gate", file=sys.stderr)
+        return 1
+    print(f"\nall {len(reference)} tracked benchmarks within {args.factor:g}x of reference")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

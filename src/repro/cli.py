@@ -6,7 +6,12 @@ Commands
     List every reproducible experiment with its title.
 ``run <ID> [<ID> ...]``
     Run experiments by id and print their reports; exits non-zero if any
-    structural check fails.
+    structural check fails.  ``--jobs N`` fans grid-shaped experiments
+    (FIG8, TAB2, FIG11, FIG12, EXT10) out over worker processes;
+    ``--no-cache`` disables the on-disk result cache.
+``campaign``
+    Run the full Section V characterization campaign over an arbitrary
+    set of ring specs (``iro:5 str:96 ...``), parallel and cached.
 ``report``
     Print the paper's STR-vs-IRO comparison on a fresh five-board bank.
 ``calibration``
@@ -14,14 +19,17 @@ Commands
 ``faults``
     Run a fault scenario against the supervised TRNG runtime and print
     the structured event log (plus the EXT10 coverage matrix with
-    ``--matrix``).
+    ``--matrix``, which honours ``--jobs``/``--no-cache``).
+``cache``
+    Inspect (``stats``) or empty (``clear``) the on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments import EXPERIMENT_IDS, get_experiment, run_experiment
 from repro.experiments.registry import experiment_title
@@ -33,10 +41,35 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_cache(args: argparse.Namespace):
+    """The result cache selected by the CLI flags (None when disabled)."""
+    from repro.parallel import default_cache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return default_cache()
+
+
+def _parallel_overrides(runner, args: argparse.Namespace) -> Dict[str, Any]:
+    """``jobs``/``cache`` keyword overrides, filtered to what ``runner`` accepts.
+
+    Experiments that are not grid-shaped simply don't take the
+    parameters; the flags then have no effect rather than erroring.
+    """
+    parameters = inspect.signature(runner).parameters
+    overrides: Dict[str, Any] = {}
+    if "jobs" in parameters and args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if "cache" in parameters:
+        overrides["cache"] = _cli_cache(args)
+    return overrides
+
+
 def _command_run(args: argparse.Namespace) -> int:
     failures = []
     for experiment_id in args.ids:
-        result = run_experiment(experiment_id)
+        runner = get_experiment(experiment_id)
+        result = runner(**_parallel_overrides(runner, args))
         if args.json:
             print(result.to_json())
         else:
@@ -49,6 +82,71 @@ def _command_run(args: argparse.Namespace) -> int:
         for experiment_id, failed in failures:
             print(f"{experiment_id}: FAILED {failed}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _parse_ring_spec(text: str):
+    """Parse a ``kind:stages[:tokens]`` CLI ring spec (e.g. ``str:96``)."""
+    from repro.core.campaign import RingSpec
+
+    parts = text.lower().split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"ring spec must look like 'iro:5' or 'str:32:10', got {text!r}"
+        )
+    try:
+        stage_count = int(parts[1])
+        token_count = int(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"non-numeric field in ring spec {text!r}")
+    try:
+        return RingSpec(parts[0], stage_count, token_count=token_count)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from repro.core.campaign import RingSpec, run_campaign
+    from repro.fpga.board import BoardBank
+    from repro.fpga.calibration import TABLE2_TARGETS
+
+    specs = args.specs or [
+        RingSpec(target.kind, target.stage_count) for target in TABLE2_TARGETS
+    ]
+    bank = BoardBank.manufacture(board_count=args.boards, seed=args.bank_seed)
+    progress = None
+    if not args.json and sys.stderr.isatty():
+
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} grid points", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+
+    report = run_campaign(
+        specs,
+        bank=bank,
+        jitter_periods=args.periods,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_cli_cache(args),
+        progress=progress,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(root=args.dir) if args.dir else ResultCache()
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
     return 0
 
 
@@ -84,7 +182,8 @@ def _command_faults(args: argparse.Namespace) -> int:
     from repro.trng.supervisor import RecoveryPolicy, SupervisedTrng
 
     if args.matrix:
-        result = run_experiment("EXT10")
+        runner = get_experiment("EXT10")
+        result = runner(**_parallel_overrides(runner, args))
         print(result.render())
         return 0 if result.all_checks_pass else 1
 
@@ -147,7 +246,65 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON results"
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid-shaped experiments (0 = all cores)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
     run_parser.set_defaults(handler=_command_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run the Section V characterization campaign"
+    )
+    campaign_parser.add_argument(
+        "specs",
+        nargs="*",
+        type=_parse_ring_spec,
+        default=None,
+        metavar="SPEC",
+        help="ring specs as kind:stages[:tokens], e.g. iro:5 str:96 str:32:10 "
+        "(default: the Table II grid)",
+    )
+    campaign_parser.add_argument(
+        "--boards", type=int, default=5, help="boards in the manufactured bank"
+    )
+    campaign_parser.add_argument(
+        "--bank-seed", type=int, default=7, help="process-draw seed for the bank"
+    )
+    campaign_parser.add_argument(
+        "--periods", type=int, default=2048, help="jitter periods per ring"
+    )
+    campaign_parser.add_argument("--seed", type=int, default=0)
+    campaign_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the campaign grid (0 = all cores)",
+    )
+    campaign_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    campaign_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON results"
+    )
+    campaign_parser.set_defaults(handler=_command_campaign)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    cache_parser.set_defaults(handler=_command_cache)
 
     report_parser = subparsers.add_parser("report", help="STR-vs-IRO comparison report")
     report_parser.add_argument("--periods", type=int, default=2048, help="jitter campaign size")
@@ -185,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--matrix",
         action="store_true",
         help="run the full EXT10 campaign and print the coverage matrix",
+    )
+    faults_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the --matrix campaign (0 = all cores)",
+    )
+    faults_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
     faults_parser.set_defaults(handler=_command_faults)
 

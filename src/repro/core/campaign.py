@@ -23,12 +23,27 @@ from repro.core.characterization import (
     sweep_voltage,
 )
 from repro.fpga.board import Board, BoardBank
+from repro.parallel.cache import ResultCache, fingerprint
+from repro.parallel.executor import GridTask, ProgressCallback, run_grid
+from repro.parallel.seeds import spawn_seeds
 from repro.rings.iro import InverterRingOscillator
 from repro.rings.str_ring import SelfTimedRing
 from repro.simulation.noise import SeedLike
 from repro.stats.accumulation import accumulation_profile
 from repro.trng.elementary import predicted_shannon_entropy
 from repro.trng.phasewalk import reference_period_for_q
+
+#: Periods per jitter-simulation segment in the fanned-out campaign.
+#: Segments are the unit of parallelism *within* one ring spec: a long
+#: event-driven run is replaced by independent seed-spawned runs whose
+#: period populations are concatenated, so a single slow spec (an STR
+#: 96C dominates a TAB2-sized grid ~20:1) no longer bounds the whole
+#: campaign's wall-clock.  Serial runs use the same segmentation, which
+#: is what keeps ``jobs=N`` bit-identical to ``jobs=1``.
+DEFAULT_SEGMENT_PERIODS = 512
+
+#: Warm-up discarded before each segment's jitter statistics.
+CAMPAIGN_WARMUP_PERIODS = 256
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,6 +151,65 @@ class CampaignReport:
         return json.dumps(payload, indent=indent)
 
 
+def _segment_lengths(total_periods: int, segment_periods: int) -> List[int]:
+    """Split a period budget into simulation segments.
+
+    Full segments of ``segment_periods`` plus the remainder; a remainder
+    too short to yield a jitter estimate (< 2 periods) is folded into
+    the last segment.
+    """
+    if total_periods < 1:
+        raise ValueError(f"need a positive period budget, got {total_periods}")
+    if segment_periods < 2:
+        raise ValueError(f"segments need at least 2 periods, got {segment_periods}")
+    lengths = [segment_periods] * (total_periods // segment_periods)
+    remainder = total_periods % segment_periods
+    if remainder >= 2:
+        lengths.append(remainder)
+    elif remainder and lengths:
+        lengths[-1] += remainder
+    elif remainder:
+        lengths.append(remainder + segment_periods)  # unreachable guard
+    return lengths or [total_periods]
+
+
+def _campaign_segment_worker(task: GridTask) -> List[float]:
+    """Grid worker: the period population of one simulation segment."""
+    payload = task.payload
+    trace = payload["ring"].simulate(
+        payload["period_count"],
+        seed=task.seed,
+        warmup_periods=payload["warmup_periods"],
+    ).trace
+    return [float(period) for period in trace.periods_ps()]
+
+
+def _assemble_result(
+    spec: RingSpec,
+    ring,
+    sweep,
+    dispersion,
+    periods: np.ndarray,
+    q_target: float,
+) -> RingCampaignResult:
+    """Fold one spec's measurements into its campaign row."""
+    diffusion = accumulation_profile(periods).diffusion_sigma_ps
+    reference = reference_period_for_q(ring.predicted_period_ps(), diffusion, q_target)
+    q_reached = q_target  # by construction of the reference period
+    return RingCampaignResult(
+        label=spec.label,
+        nominal_frequency_mhz=ring.predicted_frequency_mhz(),
+        delta_f=float(sweep.excursion()),
+        linearity_r2=float(sweep.linearity()),
+        sigma_rel=float(dispersion.sigma_rel),
+        board_frequencies_mhz=[float(f) for f in dispersion.frequencies_mhz],
+        period_jitter_ps=float(np.std(periods, ddof=1)),
+        diffusion_sigma_ps=float(diffusion),
+        trng_reference_period_ps=float(reference),
+        trng_entropy_bound=float(predicted_shannon_entropy(q_reached)),
+    )
+
+
 def run_campaign(
     specs: Sequence[RingSpec],
     bank: Optional[BoardBank] = None,
@@ -143,18 +217,92 @@ def run_campaign(
     jitter_periods: int = 2048,
     q_target: float = 0.2,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    seed_mode: str = "spawn",
+    segment_periods: int = DEFAULT_SEGMENT_PERIODS,
+    progress: Optional[ProgressCallback] = None,
 ) -> CampaignReport:
     """Characterize every spec over the bank and assemble the report.
 
     The TRNG provisioning column uses the measured long-run *diffusion*
     rate (not the single-period sigma) — the conservative figure an STR
     designer must use (see docs/theory.md Section 7).
+
+    The jitter simulations — the campaign's entire cost — are cut into
+    independent seed-spawned segments (``segment_periods`` each) and
+    fanned out over ``jobs`` worker processes, consulting ``cache`` per
+    segment.  Any job count produces bit-identical reports because the
+    segment list and its seeds depend only on the arguments, never on
+    scheduling.  ``seed_mode="shared"`` (or a ``numpy.random.Generator``
+    seed) selects the legacy serial path: one unsegmented simulation per
+    spec, every spec reusing the root seed.
     """
     if not specs:
         raise ValueError("need at least one ring spec")
     bank = bank if bank is not None else BoardBank.manufacture(board_count=5, seed=0)
     nominal_board = bank[0]
+    if seed_mode == "shared" or isinstance(seed, np.random.Generator):
+        return _run_campaign_legacy(
+            specs, bank, voltages_v, jitter_periods, q_target, seed
+        )
 
+    rings = [spec.build(nominal_board) for spec in specs]
+    spec_seeds = spawn_seeds(seed, len(specs))
+    lengths = _segment_lengths(jitter_periods, segment_periods)
+    tasks: List[GridTask] = []
+    for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
+        segment_seeds = spawn_seeds(spec_seed, len(lengths))
+        for segment_index, (length, segment_seed) in enumerate(zip(lengths, segment_seeds)):
+            tasks.append(
+                GridTask(
+                    kind="campaign_jitter_segment",
+                    spec={
+                        "ring": fingerprint(ring),
+                        "label": spec.label,
+                        "segment": segment_index,
+                        "period_count": length,
+                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                    },
+                    seed=segment_seed,
+                    payload={
+                        "ring": ring,
+                        "period_count": length,
+                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                    },
+                )
+            )
+    segments = run_grid(
+        tasks, _campaign_segment_worker, jobs=jobs, cache=cache, progress=progress
+    )
+
+    results: List[RingCampaignResult] = []
+    for index, (spec, ring) in enumerate(zip(specs, rings)):
+        sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
+        dispersion = measure_family_dispersion(bank, spec.build)
+        own = segments[index * len(lengths) : (index + 1) * len(lengths)]
+        periods = np.concatenate([np.asarray(segment, dtype=float) for segment in own])
+        results.append(
+            _assemble_result(spec, ring, sweep, dispersion, periods, q_target)
+        )
+    return CampaignReport(
+        results=results,
+        voltages_v=[float(v) for v in voltages_v],
+        board_count=len(bank),
+        q_target=q_target,
+    )
+
+
+def _run_campaign_legacy(
+    specs: Sequence[RingSpec],
+    bank: BoardBank,
+    voltages_v: Sequence[float],
+    jitter_periods: int,
+    q_target: float,
+    seed: SeedLike,
+) -> CampaignReport:
+    """The pre-parallel campaign loop, kept bit-compatible for ``seed_mode="shared"``."""
+    nominal_board = bank[0]
     results: List[RingCampaignResult] = []
     for spec in specs:
         sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
@@ -165,10 +313,10 @@ def run_campaign(
             method="population",
             period_count=jitter_periods,
             seed=seed,
-            warmup_periods=256,
+            warmup_periods=CAMPAIGN_WARMUP_PERIODS,
         )
         periods = ring.simulate(
-            jitter_periods, seed=seed, warmup_periods=256
+            jitter_periods, seed=seed, warmup_periods=CAMPAIGN_WARMUP_PERIODS
         ).trace.periods_ps()
         diffusion = accumulation_profile(periods).diffusion_sigma_ps
         reference = reference_period_for_q(

@@ -17,7 +17,7 @@ else implementing :class:`~repro.rings.base.RingOscillator`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.measurement.jitter import (
     measure_period_jitter_direct,
     measure_period_jitter_divider,
 )
+from repro.parallel.cache import ResultCache, fingerprint
+from repro.parallel.executor import GridTask, run_grid
+from repro.parallel.seeds import spawn_seeds
 from repro.rings.base import RingOscillator
 from repro.simulation.noise import SeedLike
 from repro.stats.descriptive import (
@@ -37,9 +40,35 @@ from repro.stats.descriptive import (
     normalized_frequencies,
     relative_standard_deviation,
 )
+from repro.stats.normality import NormalityReport
 
 #: Resolves a ring oscillator on a board.
 RingBuilder = Callable[[Board], RingOscillator]
+
+#: Seed-handling modes of the grid campaigns.  ``"spawn"`` derives one
+#: independent child seed per grid point (the fix for the historical
+#: noise-stream correlation across boards/voltages); ``"shared"`` keeps
+#: the legacy behaviour of passing the root seed to every point.
+SEED_MODES = ("spawn", "shared")
+
+
+def _point_seeds(seed: SeedLike, count: int, seed_mode: str) -> List[Optional[int]]:
+    """Per-grid-point seeds under the chosen mode (see :data:`SEED_MODES`)."""
+    if seed_mode not in SEED_MODES:
+        raise ValueError(f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}")
+    if seed_mode == "spawn":
+        return spawn_seeds(seed, count)
+    return [seed] * count  # type: ignore[list-item]
+
+
+def _measure_frequency_worker(task: GridTask) -> float:
+    """Grid worker: mean event-driven frequency of one resolved ring."""
+    payload = task.payload
+    return float(
+        payload["ring"].measure_frequency_mhz(
+            period_count=payload["period_count"], seed=task.seed
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -84,24 +113,51 @@ def sweep_voltage(
     measure: bool = False,
     period_count: int = 64,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    seed_mode: str = "spawn",
 ) -> VoltageSweepResult:
     """Sweep the core supply and record the ring frequency at each point.
 
     ``measure=False`` reads the analytical frequency (exact, instant);
     ``measure=True`` runs the event-driven simulation at each point, as a
-    real campaign would.
+    real campaign would.  Measured sweeps fan out over ``jobs`` worker
+    processes and consult the result ``cache``; each voltage point gets
+    its own derived seed unless ``seed_mode="shared"`` requests the
+    legacy single-seed behaviour.  Passing a ``numpy.random.Generator``
+    as ``seed`` implies the legacy shared-stream serial path.
     """
     if len(voltages_v) < 2:
         raise ValueError("a sweep needs at least two voltage points")
-    frequencies = []
-    name = None
-    for voltage in voltages_v:
-        ring = ring_builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
-        name = ring.name
-        if measure:
-            frequencies.append(ring.measure_frequency_mhz(period_count=period_count, seed=seed))
-        else:
-            frequencies.append(ring.predicted_frequency_mhz())
+    rings = [
+        ring_builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
+        for voltage in voltages_v
+    ]
+    name = rings[-1].name
+    if not measure:
+        frequencies = [ring.predicted_frequency_mhz() for ring in rings]
+    elif isinstance(seed, np.random.Generator):
+        # Legacy coupled-stream path: one shared generator, strictly serial.
+        frequencies = [
+            ring.measure_frequency_mhz(period_count=period_count, seed=seed)
+            for ring in rings
+        ]
+    else:
+        seeds = _point_seeds(seed, len(rings), seed_mode)
+        tasks = [
+            GridTask(
+                kind="sweep_point",
+                spec={
+                    "ring": fingerprint(ring),
+                    "voltage_v": float(voltage),
+                    "period_count": period_count,
+                },
+                seed=point_seed,
+                payload={"ring": ring, "period_count": period_count},
+            )
+            for ring, voltage, point_seed in zip(rings, voltages_v, seeds)
+        ]
+        frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
     return VoltageSweepResult(
         ring_name=name,
         voltages_v=np.asarray(voltages_v, dtype=float),
@@ -137,22 +193,46 @@ def measure_family_dispersion(
     measure: bool = False,
     period_count: int = 64,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    seed_mode: str = "spawn",
 ) -> FamilyDispersionResult:
-    """Send the same "bitstream" to every board and compare frequencies."""
-    frequencies = []
-    names = []
-    ring_name = None
-    for board in bank:
-        ring = ring_builder(board)
-        ring_name = ring.name
-        names.append(board.name)
-        if measure:
-            frequencies.append(ring.measure_frequency_mhz(period_count=period_count, seed=seed))
-        else:
-            frequencies.append(ring.predicted_frequency_mhz())
+    """Send the same "bitstream" to every board and compare frequencies.
+
+    Measured runs parallelize across boards (``jobs``) with per-board
+    derived seeds — the historical shared seed made every board see the
+    same noise stream, understating the dispersion of measured
+    frequencies; ``seed_mode="shared"`` restores that behaviour.
+    """
+    rings = [ring_builder(board) for board in bank]
+    names = tuple(board.name for board in bank)
+    ring_name = rings[-1].name
+    if not measure:
+        frequencies = [ring.predicted_frequency_mhz() for ring in rings]
+    elif isinstance(seed, np.random.Generator):
+        frequencies = [
+            ring.measure_frequency_mhz(period_count=period_count, seed=seed)
+            for ring in rings
+        ]
+    else:
+        seeds = _point_seeds(seed, len(rings), seed_mode)
+        tasks = [
+            GridTask(
+                kind="dispersion_point",
+                spec={
+                    "ring": fingerprint(ring),
+                    "board": board.name,
+                    "period_count": period_count,
+                },
+                seed=point_seed,
+                payload={"ring": ring, "period_count": period_count},
+            )
+            for ring, board, point_seed in zip(rings, bank, seeds)
+        ]
+        frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
     return FamilyDispersionResult(
         ring_name=ring_name,
-        board_names=tuple(names),
+        board_names=names,
         frequencies_mhz=np.asarray(frequencies, dtype=float),
     )
 
@@ -220,6 +300,43 @@ def measure_period_jitter(
     )
 
 
+def _jitter_result_to_payload(result: JitterMeasurementResult) -> Dict[str, Any]:
+    """JSON-able form of a jitter measurement (for grid workers/cache)."""
+    payload = dataclasses.asdict(result)
+    return payload
+
+
+def _jitter_result_from_payload(payload: Dict[str, Any]) -> JitterMeasurementResult:
+    """Rebuild a jitter measurement from :func:`_jitter_result_to_payload`."""
+    reading = payload.get("divider_reading")
+    divider_reading = None
+    if reading is not None:
+        divider_reading = DividerJitterReading(
+            **{**reading, "normality": NormalityReport(**reading["normality"])}
+        )
+    return JitterMeasurementResult(
+        ring_name=payload["ring_name"],
+        stage_count=payload["stage_count"],
+        sigma_period_ps=payload["sigma_period_ps"],
+        mean_period_ps=payload["mean_period_ps"],
+        method=payload["method"],
+        divider_reading=divider_reading,
+    )
+
+
+def _jitter_point_worker(task: GridTask) -> Dict[str, Any]:
+    """Grid worker: full jitter measurement of one resolved ring."""
+    payload = task.payload
+    result = measure_period_jitter(
+        payload["ring"],
+        method=payload["method"],
+        period_count=payload["period_count"],
+        seed=task.seed,
+        warmup_periods=payload["warmup_periods"],
+    )
+    return _jitter_result_to_payload(result)
+
+
 def jitter_versus_length(
     board: Board,
     lengths: Sequence[int],
@@ -227,20 +344,53 @@ def jitter_versus_length(
     method: str = "population",
     period_count: int = 4096,
     seed: SeedLike = 0,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    seed_mode: str = "spawn",
 ) -> List[JitterMeasurementResult]:
-    """Period jitter as a function of ring length (Figs. 11 and 12)."""
+    """Period jitter as a function of ring length (Figs. 11 and 12).
+
+    One grid task per ring length, fanned out over ``jobs`` processes;
+    lengths get independent derived seeds (``seed_mode="shared"`` keeps
+    the legacy behaviour of reusing the root seed at every length).
+    """
     from repro.rings.iro import InverterRingOscillator
     from repro.rings.str_ring import SelfTimedRing
 
     if ring_family not in ("iro", "str"):
         raise ValueError(f"ring_family must be 'iro' or 'str', got {ring_family!r}")
-    results = []
+    rings: List[RingOscillator] = []
     for length in lengths:
         if ring_family == "iro":
-            ring: RingOscillator = InverterRingOscillator.on_board(board, length)
+            rings.append(InverterRingOscillator.on_board(board, length))
         else:
-            ring = SelfTimedRing.on_board(board, length)
-        results.append(
+            rings.append(SelfTimedRing.on_board(board, length))
+    if isinstance(seed, np.random.Generator):
+        return [
             measure_period_jitter(ring, method=method, period_count=period_count, seed=seed)
+            for ring in rings
+        ]
+    seeds = _point_seeds(seed, len(rings), seed_mode)
+    tasks = [
+        GridTask(
+            kind="jitter_point",
+            spec={
+                "ring": fingerprint(ring),
+                "length": int(length),
+                "family": ring_family,
+                "method": method,
+                "period_count": period_count,
+                "warmup_periods": 64,
+            },
+            seed=point_seed,
+            payload={
+                "ring": ring,
+                "method": method,
+                "period_count": period_count,
+                "warmup_periods": 64,
+            },
         )
-    return results
+        for ring, length, point_seed in zip(rings, lengths, seeds)
+    ]
+    payloads = run_grid(tasks, _jitter_point_worker, jobs=jobs, cache=cache)
+    return [_jitter_result_from_payload(payload) for payload in payloads]

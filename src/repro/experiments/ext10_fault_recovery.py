@@ -35,12 +35,14 @@ TOTAL_FAILURE with zero bits emitted after the alarm.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.campaign import RingSpec
 from repro.experiments.base import ExperimentResult
 from repro.faults import FAULT_KINDS, FaultSchedule, ScheduledFault, standard_fault
 from repro.fpga.board import Board
+from repro.parallel.cache import ResultCache, fingerprint
+from repro.parallel.executor import GridTask, run_grid
 from repro.trng.supervisor import (
     RecoveryPolicy,
     SupervisedRunResult,
@@ -89,6 +91,41 @@ def _outcome(result: SupervisedRunResult, onset_s: float) -> Tuple[str, str, int
     return OUTCOME_ORDER[depth], f"{latency_ms:.1f}", len(alarms)
 
 
+def _cell_worker(task: GridTask) -> Dict[str, Any]:
+    """Grid worker: one supervised run, reduced to its JSON-able verdict.
+
+    Handles both the fault x severity cells and the no-backup
+    oscillation-death guarantee run (``payload["backup"] is None``).
+    """
+    payload = task.payload
+    backup = payload["backup"]
+    scenario = FaultSchedule(
+        [
+            ScheduledFault(
+                standard_fault(payload["kind"], payload["severity"]),
+                start_s=payload["onset_s"],
+            )
+        ],
+        name=payload["name"],
+    )
+    trng = SupervisedTrng(
+        payload["primary"],
+        board=payload["board"],
+        policy=RecoveryPolicy(backup_specs=(backup,) if backup is not None else ()),
+        block_bits=payload["block_bits"],
+    )
+    result = trng.run(payload["bit_budget"], scenario=scenario, seed=task.seed)
+    outcome, latency, alarm_count = _outcome(result, payload["onset_s"])
+    return {
+        "outcome": outcome,
+        "latency": latency,
+        "alarm_count": alarm_count,
+        "final_state": result.final_state.value,
+        "bit_count": result.bit_count,
+        "emitted_after_first_alarm": result.emitted_after_first_alarm,
+    }
+
+
 def run(
     board: Optional[Board] = None,
     severities: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
@@ -96,6 +133,8 @@ def run(
     block_bits: int = 512,
     onset_s: float = 0.25,
     seed: int = 101,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Sweep fault kind x severity through the supervised runtime.
 
@@ -105,75 +144,98 @@ def run(
     from fault onset to the first health alarm — the honest figure,
     since the supervisor only ever sees the health tests, never the
     fault itself.
+
+    The cells are independent supervised runs with per-cell seeds, so
+    the matrix fans out over ``jobs`` worker processes and caches per
+    cell; results are identical for any job count.
     """
     board = board if board is not None else Board()
     primary = RingSpec("iro", 5)
     backup = RingSpec("str", 48)
+    board_fp = fingerprint(board)
+
+    def _task(kind: str, severity: float, cell_backup, name: str, cell_seed: int) -> GridTask:
+        return GridTask(
+            kind="ext10_cell",
+            spec={
+                "board": board_fp,
+                "primary": primary.label,
+                "backup": cell_backup.label if cell_backup is not None else None,
+                "fault": kind,
+                "severity": float(severity),
+                "bit_budget": bit_budget,
+                "block_bits": block_bits,
+                "onset_s": onset_s,
+            },
+            seed=cell_seed,
+            payload={
+                "board": board,
+                "primary": primary,
+                "backup": cell_backup,
+                "kind": kind,
+                "severity": float(severity),
+                "bit_budget": bit_budget,
+                "block_bits": block_bits,
+                "onset_s": onset_s,
+                "name": name,
+            },
+        )
+
+    tasks: List[GridTask] = []
+    cell_keys: List[Tuple[str, float]] = []
+    for kind_index, kind in enumerate(FAULT_KINDS):
+        for severity_index, severity in enumerate(severities):
+            tasks.append(
+                _task(
+                    kind,
+                    severity,
+                    backup,
+                    f"{kind}@{severity:g}",
+                    seed + 13 * kind_index + severity_index,
+                )
+            )
+            cell_keys.append((kind, float(severity)))
+    # The hard guarantee: oscillation death with no viable backup must
+    # end in TOTAL_FAILURE having emitted nothing after the alarm.
+    tasks.append(_task("stuck", 1.0, None, "stuck_no_backup", seed + 997))
+
+    outcomes = run_grid(tasks, _cell_worker, jobs=jobs, cache=cache)
+    dead = outcomes.pop()
 
     rows: List[Tuple] = []
     checks = {}
     detected_at_max = {}
     stuck_detected = []
     brownout_max_outcome = ""
-
-    for kind_index, kind in enumerate(FAULT_KINDS):
-        for severity_index, severity in enumerate(severities):
-            scenario = FaultSchedule(
-                [ScheduledFault(standard_fault(kind, severity), start_s=onset_s)],
-                name=f"{kind}@{severity:g}",
+    for (kind, severity), cell in zip(cell_keys, outcomes):
+        detected = cell["outcome"] != "no alarm"
+        rows.append(
+            (
+                kind,
+                f"{severity:.2f}",
+                "yes" if detected else "no",
+                cell["latency"],
+                cell["alarm_count"],
+                cell["outcome"],
+                cell["final_state"],
+                cell["bit_count"],
             )
-            trng = SupervisedTrng(
-                primary,
-                board=board,
-                policy=RecoveryPolicy(backup_specs=(backup,)),
-                block_bits=block_bits,
-            )
-            result = trng.run(
-                bit_budget,
-                scenario=scenario,
-                seed=seed + 13 * kind_index + severity_index,
-            )
-            outcome, latency, alarm_count = _outcome(result, onset_s)
-            detected = outcome != "no alarm"
-            rows.append(
-                (
-                    kind,
-                    f"{severity:.2f}",
-                    "yes" if detected else "no",
-                    latency,
-                    alarm_count,
-                    outcome,
-                    result.final_state.value,
-                    result.bit_count,
-                )
-            )
-            if severity == max(severities):
-                detected_at_max[kind] = detected
-                if kind == "brownout":
-                    brownout_max_outcome = outcome
-            if kind == "stuck":
-                stuck_detected.append(detected)
+        )
+        if severity == max(severities):
+            detected_at_max[kind] = detected
+            if kind == "brownout":
+                brownout_max_outcome = cell["outcome"]
+        if kind == "stuck":
+            stuck_detected.append(detected)
 
     for kind in FAULT_KINDS:
         checks[f"{kind}_detected_at_max_severity"] = detected_at_max[kind]
     checks["stuck_detected_at_every_severity"] = all(stuck_detected)
     checks["brownout_max_fails_over_to_backup"] = brownout_max_outcome == "failover"
-
-    # The hard guarantee: oscillation death with no viable backup must
-    # end in TOTAL_FAILURE having emitted nothing after the alarm.
-    bare = SupervisedTrng(primary, board=board, policy=RecoveryPolicy(), block_bits=block_bits)
-    dead = bare.run(
-        bit_budget,
-        scenario=FaultSchedule(
-            [ScheduledFault(standard_fault("stuck", 1.0), start_s=onset_s)],
-            name="stuck_no_backup",
-        ),
-        seed=seed + 997,
-    )
     checks["no_backup_stuck_is_total_failure"] = (
-        dead.final_state is TrngState.TOTAL_FAILURE
+        dead["final_state"] == TrngState.TOTAL_FAILURE.value
     )
-    checks["no_bits_after_total_failure_alarm"] = dead.emitted_after_first_alarm == 0
+    checks["no_bits_after_total_failure_alarm"] = dead["emitted_after_first_alarm"] == 0
 
     return ExperimentResult(
         experiment_id="EXT10",

@@ -24,11 +24,24 @@ def run(
     lengths: Sequence[int] = FIG11_LENGTHS,
     period_count: int = 3000,
     seed: int = 13,
+    jobs: Optional[int] = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Reproduce the Fig. 11 jitter-vs-length curve and the sigma_g fit."""
+    """Reproduce the Fig. 11 jitter-vs-length curve and the sigma_g fit.
+
+    One grid task per ring length; ``jobs``/``cache`` fan the lengths
+    out over worker processes and skip already-simulated points.
+    """
     board = board if board is not None else Board()
     results = jitter_versus_length(
-        board, lengths, ring_family="iro", method="population", period_count=period_count, seed=seed
+        board,
+        lengths,
+        ring_family="iro",
+        method="population",
+        period_count=period_count,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     rows: List[Tuple] = []
     jitters = []

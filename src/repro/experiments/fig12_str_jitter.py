@@ -27,11 +27,24 @@ def run(
     lengths: Sequence[int] = FIG12_LENGTHS,
     period_count: int = 2000,
     seed: int = 17,
+    jobs: Optional[int] = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Reproduce the Fig. 12 flat jitter-vs-length curve."""
+    """Reproduce the Fig. 12 flat jitter-vs-length curve.
+
+    One grid task per ring length; ``jobs``/``cache`` fan the lengths
+    out over worker processes and skip already-simulated points.
+    """
     board = board if board is not None else Board()
     results = jitter_versus_length(
-        board, lengths, ring_family="str", method="population", period_count=period_count, seed=seed
+        board,
+        lengths,
+        ring_family="str",
+        method="population",
+        period_count=period_count,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     rows: List[Tuple] = []
     jitters = []

@@ -160,13 +160,18 @@ class ConfinementModel:
     def sensitivity(self, stage_count: int) -> VoltageSensitivity:
         return VoltageSensitivity(self.beta_per_volt(stage_count))
 
+    def provide(self, stage_count: int) -> Tuple[float, VoltageSensitivity]:
+        """Penalty and sensitivity for one length (the provider signature)."""
+        return self.penalty_ps(stage_count), self.sensitivity(stage_count)
+
     def provider(self) -> Callable[[int], Tuple[float, VoltageSensitivity]]:
-        """Adapter for :class:`repro.fpga.device.DeviceTimingModel`."""
+        """Adapter for :class:`repro.fpga.device.DeviceTimingModel`.
 
-        def provide(stage_count: int) -> Tuple[float, VoltageSensitivity]:
-            return self.penalty_ps(stage_count), self.sensitivity(stage_count)
-
-        return provide
+        Returns the bound :meth:`provide` method rather than a local
+        closure so that boards (which hold the provider through their
+        timing model) remain picklable for process-pool campaign workers.
+        """
+        return self.provide
 
 
 def _str_effective_delay_ps(

@@ -1,0 +1,51 @@
+"""Parallel campaign execution: seed fan-out, result cache, process pool.
+
+Every measurement campaign in this library — voltage sweeps (Fig. 8),
+board-bank dispersion (Table II), jitter-vs-length curves (Figs. 11/12),
+the EXT10 fault x severity matrix — is an embarrassingly parallel grid
+of independent event-driven simulations.  This package supplies the
+three pieces that let those grids scale with cores without giving up
+reproducibility:
+
+* :mod:`repro.parallel.seeds` — deterministic per-point seed derivation
+  via ``numpy.random.SeedSequence.spawn``, so a parallel run is
+  bit-identical to a serial one and grid points get independent noise
+  streams (instead of the historical single reused seed);
+* :mod:`repro.parallel.cache` — a content-addressed on-disk result
+  cache under ``.repro_cache/`` keyed by (task kind, spec dict, seed,
+  package version), so re-running a campaign skips already-simulated
+  points;
+* :mod:`repro.parallel.executor` — chunked scheduling of grid tasks
+  over a ``ProcessPoolExecutor`` with progress callbacks and a serial
+  fallback when ``jobs=1`` or the pool is unavailable.
+
+The design contract that makes parallel == serial exact: campaign
+drivers build one flat list of :class:`~repro.parallel.executor.GridTask`
+objects, each carrying its own derived seed, and the executor evaluates
+the *same* ``worker(task)`` function either in-line or in worker
+processes.  Results are always returned in task order.
+"""
+
+from repro.parallel.cache import (
+    MISSING,
+    CacheStats,
+    ResultCache,
+    canonical,
+    default_cache,
+    fingerprint,
+)
+from repro.parallel.executor import GridTask, resolve_jobs, run_grid
+from repro.parallel.seeds import spawn_seeds
+
+__all__ = [
+    "MISSING",
+    "CacheStats",
+    "GridTask",
+    "ResultCache",
+    "canonical",
+    "default_cache",
+    "fingerprint",
+    "resolve_jobs",
+    "run_grid",
+    "spawn_seeds",
+]

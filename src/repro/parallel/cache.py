@@ -1,0 +1,259 @@
+"""Content-addressed on-disk result cache for campaign grid points.
+
+Layout
+------
+Entries live under a cache root (``.repro_cache/`` in the working
+directory by default, overridable with the ``REPRO_CACHE_DIR``
+environment variable), sharded by the first two hex digits of the key::
+
+    .repro_cache/
+        ab/abcdef...0123.json
+        f1/f1e2d3...4567.json
+
+Each file is a small JSON document holding the task metadata and the
+JSON-serializable worker result.
+
+Keying
+------
+The key is the SHA-256 of the canonical JSON encoding of
+``{"kind", "spec", "seed", "version"}``:
+
+* ``kind`` — the task family (``"sweep_point"``, ``"ext10_cell"``, ...);
+* ``spec`` — a JSON-able dict fully describing the computation's inputs
+  (rings and boards enter as content fingerprints, see
+  :func:`fingerprint`);
+* ``seed`` — the derived per-point seed;
+* ``version`` — the installed ``repro`` package version, so a release
+  invalidates every entry wholesale (simulators may have changed).
+
+Because results are addressed purely by content, a cache can never
+return a stale value for changed inputs — a changed spec or seed is a
+different key, i.e. a miss.  Writes go through a temporary file and an
+atomic rename, so concurrent campaign processes can share one cache
+directory safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+class _Missing:
+    """Sentinel distinguishing a cache miss from a cached ``None``."""
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+#: Returned by :meth:`ResultCache.get` when the key has no entry.
+MISSING = _Missing()
+
+
+def _package_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def fingerprint(obj: Any) -> str:
+    """Content fingerprint of an arbitrary picklable object.
+
+    Used to fold resolved rings, boards and banks (numpy-laden objects
+    with no natural JSON form) into cache-key spec dicts.  Equal pickle
+    bytes imply equal content; unequal bytes only ever cost a cache
+    miss, never a wrong hit.
+    """
+    return hashlib.sha256(pickle.dumps(obj, protocol=4)).hexdigest()
+
+
+def canonical(value: Any) -> Any:
+    """Reduce a value to a canonical JSON-able form for key hashing."""
+    if isinstance(value, dict):
+        return {str(key): canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            **canonical(dataclasses.asdict(value)),
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"__fingerprint__": fingerprint(value)}
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory plus this process's hit counters."""
+
+    root: str
+    entry_count: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+    def render(self) -> str:
+        lines = [
+            f"cache root:   {self.root}",
+            f"entries:      {self.entry_count}",
+            f"size:         {self.total_bytes / 1024:.1f} KiB",
+            f"session hits: {self.hits}",
+            f"session miss: {self.misses}",
+        ]
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Content-addressed JSON result cache (see module docstring)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.version = version if version is not None else _package_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def key_for(self, kind: str, spec: Dict[str, Any], seed: Optional[int]) -> str:
+        """SHA-256 key of (kind, spec, seed, version)."""
+        document = json.dumps(
+            {
+                "kind": kind,
+                "spec": canonical(spec),
+                "seed": seed,
+                "version": self.version,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, kind: str, spec: Dict[str, Any], seed: Optional[int]) -> Any:
+        """Return the cached result, or :data:`MISSING` on a miss.
+
+        A malformed or truncated entry (e.g. a crashed writer before the
+        atomic-rename discipline existed) counts as a miss.
+        """
+        path = self._path(self.key_for(kind, spec, seed))
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = payload["result"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return MISSING
+        self.hits += 1
+        return result
+
+    def put(self, kind: str, spec: Dict[str, Any], seed: Optional[int], result: Any) -> None:
+        """Store a JSON-serializable result (atomic rename write)."""
+        key = self.key_for(kind, spec, seed)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"kind": kind, "seed": seed, "version": self.version, "result": result}
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def stats(self) -> CacheStats:
+        """Walk the cache directory and summarize it."""
+        entry_count = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entry_count += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            root=str(self.root),
+            entry_count=entry_count,
+            total_bytes=total_bytes,
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for shard in list(self.root.iterdir()):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, version={self.version!r})"
+
+
+def default_cache() -> ResultCache:
+    """The standard process-wide cache (honors ``REPRO_CACHE_DIR``)."""
+    return ResultCache()

@@ -1,0 +1,209 @@
+"""Grid task scheduling: process-pool fan-out with a serial fallback.
+
+The executor evaluates a flat list of :class:`GridTask` objects with one
+``worker(task)`` function.  The contract that keeps parallel runs
+bit-identical to serial ones:
+
+* every task carries everything its computation needs (including its
+  own derived seed) — workers share no state;
+* the executor may evaluate tasks in any order and in any process, but
+  always returns results in task order;
+* the serial path runs the *same* worker in-line, so ``jobs=1`` is the
+  reference implementation, not a different algorithm.
+
+Scheduling is chunked: tasks are dispatched to the pool in contiguous
+chunks (several tasks per inter-process round trip) sized so every
+worker gets a few chunks — large enough to amortize pickling, small
+enough to load-balance heterogeneous grids (an STR 96C point costs
+~20x an IRO 5C point).
+
+If the pool cannot be used at all — ``jobs=1``, a sandbox without
+semaphores, an unpicklable worker or payload — the executor falls back
+to the serial path, recomputing any pending task.  Determinism makes
+the fallback free of consistency concerns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.parallel.cache import MISSING, ResultCache
+
+#: Called after each completed task with (done_count, total_count).
+ProgressCallback = Callable[[int, int], None]
+
+#: Chunks per worker the chunk-size heuristic aims for.
+_CHUNKS_PER_JOB = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class GridTask:
+    """One independent grid point.
+
+    Attributes
+    ----------
+    kind:
+        Task family; first component of the cache key.
+    spec:
+        JSON-able dict fully describing the computation's inputs (put
+        rings/boards in as content fingerprints); second key component.
+    seed:
+        Derived per-point seed (see :func:`repro.parallel.seeds.spawn_seeds`);
+        third key component.
+    payload:
+        Arbitrary picklable work data for the worker (resolved rings,
+        boards, ...).  **Not** part of the cache key — everything that
+        identifies the computation must be reflected in ``spec``.
+    """
+
+    kind: str
+    spec: Dict[str, Any]
+    seed: Optional[int] = None
+    payload: Any = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a job-count request; ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    return int(jobs)
+
+
+def _run_chunk(worker: Callable[[GridTask], Any], tasks: List[GridTask]) -> List[Any]:
+    """Evaluate one chunk in a worker process."""
+    return [worker(task) for task in tasks]
+
+
+def _chunk_indices(pending: List[int], jobs: int, chunk_size: Optional[int]) -> List[List[int]]:
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(pending) / (jobs * _CHUNKS_PER_JOB)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [pending[start : start + chunk_size] for start in range(0, len(pending), chunk_size)]
+
+
+def run_grid(
+    tasks: Sequence[GridTask],
+    worker: Callable[[GridTask], Any],
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Any]:
+    """Evaluate every task and return the results in task order.
+
+    Parameters
+    ----------
+    tasks:
+        The grid; evaluated independently.
+    worker:
+        Module-level callable mapping a task to a JSON-serializable
+        result (JSON-ability only matters when ``cache`` is set).
+    jobs:
+        Worker process count; ``1`` runs serially in-process, ``None``
+        or ``0`` uses every core.
+    cache:
+        Optional :class:`ResultCache`; hits skip the worker entirely and
+        fresh results are written back.
+    chunk_size:
+        Tasks per pool dispatch; default targets a few chunks per job.
+    progress:
+        Optional ``callback(done, total)``; cache hits are reported
+        up-front as already done.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    results: List[Any] = [None] * total
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            value = cache.get(task.kind, task.spec, task.seed)
+            if value is not MISSING:
+                results[index] = value
+                continue
+        pending.append(index)
+    done = total - len(pending)
+    if progress is not None and total:
+        progress(done, total)
+    if not pending:
+        return results
+
+    job_count = resolve_jobs(jobs)
+    completed = False
+    if job_count > 1 and len(pending) > 1:
+        completed = _run_parallel(
+            tasks, pending, worker, job_count, chunk_size, cache, progress, done, total, results
+        )
+    if not completed:
+        _run_serial(tasks, pending, worker, cache, progress, done, total, results)
+    return results
+
+
+def _store(
+    cache: Optional[ResultCache], task: GridTask, value: Any, results: List[Any], index: int
+) -> None:
+    results[index] = value
+    if cache is not None:
+        cache.put(task.kind, task.spec, task.seed, value)
+
+
+def _run_serial(
+    tasks: List[GridTask],
+    pending: List[int],
+    worker: Callable[[GridTask], Any],
+    cache: Optional[ResultCache],
+    progress: Optional[ProgressCallback],
+    done: int,
+    total: int,
+    results: List[Any],
+) -> None:
+    for index in pending:
+        _store(cache, tasks[index], worker(tasks[index]), results, index)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+
+def _run_parallel(
+    tasks: List[GridTask],
+    pending: List[int],
+    worker: Callable[[GridTask], Any],
+    jobs: int,
+    chunk_size: Optional[int],
+    cache: Optional[ResultCache],
+    progress: Optional[ProgressCallback],
+    done: int,
+    total: int,
+    results: List[Any],
+) -> bool:
+    """Try the pool; return False to request the serial fallback.
+
+    Any pool-layer failure — pickling, a broken worker process, an
+    environment without multiprocessing primitives — abandons the pool.
+    Genuine worker exceptions simply reproduce on the serial retry (the
+    computation is deterministic), so nothing is silently swallowed.
+    """
+    chunks = _chunk_indices(pending, jobs, chunk_size)
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(_run_chunk, worker, [tasks[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                for index, value in zip(chunk, future.result()):
+                    _store(cache, tasks[index], value, results, index)
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, total)
+    except Exception:
+        return False
+    return True

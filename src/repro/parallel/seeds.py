@@ -1,0 +1,47 @@
+"""Deterministic seed fan-out for campaign grids.
+
+The historical campaign drivers passed one integer seed to *every* grid
+point, which correlates the noise streams of different boards and
+voltages (each point rebuilt the same generator).  The fix — and the
+property the parallel executor relies on — is to derive one child seed
+per grid point from the root seed with ``numpy.random.SeedSequence``:
+
+* **deterministic** — the child list is a pure function of the root
+  seed, so serial and parallel runs (any job count, any completion
+  order) see exactly the same streams;
+* **independent** — spawned ``SeedSequence`` children are designed to
+  yield statistically independent generators, so grid points no longer
+  share noise;
+* **stable** — children depend only on (root, index), never on how many
+  other points run in the same process or in which order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simulation.noise import SeedLike
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> List[Optional[int]]:
+    """Derive ``count`` independent child seeds from a root seed.
+
+    ``None`` roots propagate as ``None`` children (fresh OS entropy per
+    point — irreproducible by request).  A ``numpy.random.Generator``
+    cannot be fanned out: its stream is stateful, so sharing it across a
+    grid is order-dependent by construction; callers keep those runs on
+    the serial legacy path instead.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if seed is None:
+        return [None] * count
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "cannot derive child seeds from a stateful Generator; "
+            "pass an integer root seed to fan a grid out"
+        )
+    children = np.random.SeedSequence(int(seed)).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]

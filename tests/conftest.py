@@ -4,6 +4,18 @@ import pytest
 
 from repro.fpga.board import Board, BoardBank
 from repro.fpga.calibration import CalibratedTiming, cyclone_iii_calibration
+from repro.parallel.cache import ENV_CACHE_DIR
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test directory.
+
+    Keeps CLI invocations under test (which enable the cache by
+    default) from littering ``.repro_cache/`` in the repository, and
+    from seeing each other's entries.
+    """
+    monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "repro_cache"))
 
 
 @pytest.fixture(scope="session")

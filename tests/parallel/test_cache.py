@@ -1,0 +1,131 @@
+"""Content-addressed result cache (repro.parallel.cache)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel import MISSING, ResultCache, canonical, default_cache, fingerprint
+from repro.parallel.cache import ENV_CACHE_DIR
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache", version="1.0.0")
+
+
+SPEC = {"ring": "iro-5", "voltage_v": 1.2, "period_count": 64}
+
+
+class TestRoundTrip:
+    def test_miss_returns_sentinel(self, cache):
+        assert cache.get("sweep_point", SPEC, 1) is MISSING
+
+    def test_put_then_get(self, cache):
+        cache.put("sweep_point", SPEC, 1, {"frequency_mhz": 376.5})
+        assert cache.get("sweep_point", SPEC, 1) == {"frequency_mhz": 376.5}
+
+    def test_cached_none_is_not_a_miss(self, cache):
+        cache.put("sweep_point", SPEC, 1, None)
+        assert cache.get("sweep_point", SPEC, 1) is None
+
+    def test_float_round_trip_is_exact(self, cache):
+        values = [0.1 + 0.2, 1e-300, np.nextafter(1.0, 2.0), 376.123456789012345]
+        cache.put("sweep_point", SPEC, 2, values)
+        assert cache.get("sweep_point", SPEC, 2) == values
+
+    def test_hit_and_miss_counters(self, cache):
+        cache.get("sweep_point", SPEC, 1)
+        cache.put("sweep_point", SPEC, 1, 0)
+        cache.get("sweep_point", SPEC, 1)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestInvalidation:
+    def test_version_bump_misses(self, tmp_path):
+        old = ResultCache(root=tmp_path, version="1.0.0")
+        old.put("sweep_point", SPEC, 1, 42)
+        new = ResultCache(root=tmp_path, version="1.1.0")
+        assert new.get("sweep_point", SPEC, 1) is MISSING
+        assert old.get("sweep_point", SPEC, 1) == 42
+
+    def test_spec_change_misses(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        changed = dict(SPEC, voltage_v=1.4)
+        assert cache.get("sweep_point", changed, 1) is MISSING
+
+    def test_seed_change_misses(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        assert cache.get("sweep_point", SPEC, 2) is MISSING
+
+    def test_kind_change_misses(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        assert cache.get("dispersion_point", SPEC, 1) is MISSING
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        path = cache._path(cache.key_for("sweep_point", SPEC, 1))
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get("sweep_point", SPEC, 1) is MISSING
+
+
+class TestKeying:
+    def test_key_is_order_insensitive(self, cache):
+        a = cache.key_for("k", {"x": 1, "y": 2}, 0)
+        b = cache.key_for("k", {"y": 2, "x": 1}, 0)
+        assert a == b
+
+    def test_key_is_sharded_path(self, cache):
+        key = cache.key_for("k", SPEC, 0)
+        path = cache._path(key)
+        assert path.parent.name == key[:2]
+        assert path.suffix == ".json"
+
+    def test_canonical_handles_numpy(self):
+        value = canonical({"a": np.float64(1.5), "b": np.arange(3)})
+        assert json.dumps(value)
+        assert value == {"a": 1.5, "b": [0, 1, 2]}
+
+    def test_canonical_tags_dataclasses(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+
+        value = canonical(Point(3))
+        assert value["__dataclass__"] == "TestKeying.test_canonical_tags_dataclasses.<locals>.Point"
+        assert value["x"] == 3
+
+    def test_canonical_falls_back_to_fingerprint(self):
+        value = canonical(object())
+        assert set(value) == {"__fingerprint__"}
+
+    def test_fingerprint_distinguishes_content(self):
+        assert fingerprint((1, 2, 3)) != fingerprint((1, 2, 4))
+        assert fingerprint((1, 2, 3)) == fingerprint((1, 2, 3))
+
+
+class TestMaintenance:
+    def test_stats_counts_entries(self, cache):
+        for seed in range(5):
+            cache.put("k", SPEC, seed, seed)
+        stats = cache.stats()
+        assert stats.entry_count == 5
+        assert stats.total_bytes > 0
+        assert "entries:      5" in stats.render()
+
+    def test_clear_removes_everything(self, cache):
+        for seed in range(5):
+            cache.put("k", SPEC, seed, seed)
+        assert cache.clear() == 5
+        assert cache.stats().entry_count == 0
+        assert cache.get("k", SPEC, 0) is MISSING
+
+    def test_stats_on_empty_root(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "never_created")
+        assert cache.stats().entry_count == 0
+        assert cache.clear() == 0
+
+    def test_default_cache_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "from_env"))
+        assert default_cache().root == tmp_path / "from_env"

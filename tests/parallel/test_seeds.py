@@ -1,0 +1,51 @@
+"""Deterministic seed fan-out (repro.parallel.seeds)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 8) == spawn_seeds(42, 8)
+
+    def test_children_are_pairwise_distinct(self):
+        children = spawn_seeds(0, 64)
+        assert len(set(children)) == 64
+
+    def test_different_roots_give_disjoint_children(self):
+        a = spawn_seeds(1, 32)
+        b = spawn_seeds(2, 32)
+        assert not set(a) & set(b)
+
+    def test_prefix_stability(self):
+        """Child i depends only on (root, i), not on the grid size."""
+        assert spawn_seeds(7, 16)[:4] == spawn_seeds(7, 4)
+
+    def test_children_differ_from_root(self):
+        assert 5 not in spawn_seeds(5, 16)
+
+    def test_streams_are_independent(self):
+        """Generators built from sibling seeds are decorrelated."""
+        seeds = spawn_seeds(3, 2)
+        x = np.random.default_rng(seeds[0]).standard_normal(4096)
+        y = np.random.default_rng(seeds[1]).standard_normal(4096)
+        assert abs(float(np.corrcoef(x, y)[0, 1])) < 0.05
+
+    def test_none_root_propagates(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_zero_count(self):
+        assert spawn_seeds(11, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(11, -1)
+
+    def test_generator_root_raises(self):
+        with pytest.raises(TypeError):
+            spawn_seeds(np.random.default_rng(0), 4)
+
+    def test_seeds_fit_uint64(self):
+        assert all(0 <= s < 2**64 for s in spawn_seeds(9, 32))

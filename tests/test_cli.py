@@ -103,3 +103,92 @@ class TestFaultsCommand:
         output = capsys.readouterr().out
         assert "[EXT10]" in output
         assert "deepest recovery" in output
+
+    def test_matrix_jobs_no_cache_round_trip(self, capsys):
+        assert main(["faults", "--matrix", "--jobs", "2", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["faults", "--matrix", "--no-cache"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestRunParallelFlags:
+    def test_jobs_no_cache_round_trip(self, capsys):
+        assert main(["run", "TAB2", "--json", "--jobs", "2", "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["run", "TAB2", "--json"]) == 0
+        assert capsys.readouterr().out == parallel
+
+    def test_flags_ignored_by_non_grid_experiments(self, capsys):
+        # FIG4 takes neither jobs nor cache; the flags must be inert.
+        assert main(["run", "FIG4", "--jobs", "4"]) == 0
+        assert "[FIG4]" in capsys.readouterr().out
+
+    def test_run_populates_default_cache(self, capsys, tmp_path, monkeypatch):
+        from repro.parallel import ResultCache
+        from repro.parallel.cache import ENV_CACHE_DIR
+
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "cli_cache"))
+        assert main(["run", "FIG8", "--json"]) == 0
+        capsys.readouterr()
+        assert ResultCache().stats().entry_count == 0  # analytic path: no grid tasks
+        assert main(["faults", "--matrix"]) == 0
+        capsys.readouterr()
+        assert ResultCache().stats().entry_count > 0
+
+
+class TestCampaignCommand:
+    def test_explicit_specs(self, capsys):
+        assert main(["campaign", "iro:3", "str:8", "--periods", "192"]) == 0
+        output = capsys.readouterr().out
+        assert "IRO 3C" in output and "STR 8C" in output
+        assert "sigma_p [ps]" in output
+
+    def test_default_grid_is_table2(self, capsys):
+        assert main(["campaign", "--periods", "128", "--boards", "3"]) == 0
+        output = capsys.readouterr().out
+        for label in ("IRO 3C", "IRO 5C", "STR 4C", "STR 96C"):
+            assert label in output
+
+    def test_parallel_json_round_trip(self, capsys):
+        argv = ["campaign", "iro:3", "str:8", "--periods", "192", "--json"]
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_token_count_spec(self, capsys):
+        assert main(["campaign", "str:16:6", "--periods", "128"]) == 0
+        assert "STR 16C" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "ring:5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "iro:five"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "iro"])
+
+
+class TestCacheCommand:
+    def test_stats_then_clear(self, capsys):
+        assert main(["campaign", "iro:3", "--periods", "128"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        stats = capsys.readouterr().out
+        assert "cache root:" in stats
+        assert "entries:      0" not in stats
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+    def test_explicit_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "elsewhere")]) == 0
+        output = capsys.readouterr().out
+        assert "elsewhere" in output
+        assert "entries:      0" in output
+
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
