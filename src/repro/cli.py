@@ -22,6 +22,13 @@ Commands
     ``--matrix``, which honours ``--jobs``/``--no-cache``).
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
+``trace``
+    Summarize a JSONL trace written with ``--trace`` into a span-tree
+    timing report with event and metric totals.
+
+The ``run``, ``campaign`` and ``faults`` commands accept ``--trace
+FILE`` (record spans/events/logs to a JSONL file) and ``--metrics``
+(print the run's metric totals on exit); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -29,10 +36,57 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.experiments import EXPERIMENT_IDS, get_experiment, run_experiment
 from repro.experiments.registry import experiment_title
+
+
+@contextmanager
+def _telemetry_session(args: argparse.Namespace) -> Iterator[None]:
+    """Honour the ``--trace``/``--metrics`` flags around one command.
+
+    ``--trace FILE`` installs a JSONL sink for the whole command and
+    appends one final ``metrics`` record holding the merged registry
+    snapshot (pool workers included).  ``--metrics`` prints the same
+    totals to stdout.  Commands without the flags run untouched — the
+    default sink stays the null sink.
+    """
+    from repro.telemetry import JsonlSink, default_registry, emit_metrics, use_sink
+    from repro.telemetry.summarize import render_metrics
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None:
+        yield
+    else:
+        sink = JsonlSink(trace_path)
+        try:
+            with use_sink(sink):
+                yield
+                emit_metrics(default_registry().snapshot())
+        finally:
+            sink.close()
+    if want_metrics:
+        rendered = render_metrics(default_registry().snapshot())
+        if rendered:
+            print()
+            print(rendered)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL telemetry trace (summarize with 'repro trace summarize')",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metric totals on exit",
+    )
 
 
 def _command_list(_args: argparse.Namespace) -> int:
@@ -69,7 +123,7 @@ def _command_run(args: argparse.Namespace) -> int:
     failures = []
     for experiment_id in args.ids:
         runner = get_experiment(experiment_id)
-        result = runner(**_parallel_overrides(runner, args))
+        result = run_experiment(experiment_id, **_parallel_overrides(runner, args))
         if args.json:
             print(result.to_json())
         else:
@@ -221,6 +275,21 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.summarize import summarize_file
+
+    try:
+        summary = summarize_file(args.file)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(summary.render())
+    return 0
+
+
 def _command_calibration(_args: argparse.Namespace) -> int:
     from repro.fpga.calibration import cyclone_iii_calibration, summarize_calibration
 
@@ -256,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
+    _add_telemetry_flags(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     campaign_parser = subparsers.add_parser(
@@ -293,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON results"
     )
+    _add_telemetry_flags(campaign_parser)
     campaign_parser.set_defaults(handler=_command_campaign)
 
     cache_parser = subparsers.add_parser(
@@ -353,7 +424,15 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
+    _add_telemetry_flags(faults_parser)
     faults_parser.set_defaults(handler=_command_faults)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="analyze a JSONL telemetry trace"
+    )
+    trace_parser.add_argument("action", choices=("summarize",))
+    trace_parser.add_argument("file", help="trace file written with --trace")
+    trace_parser.set_defaults(handler=_command_trace)
 
     report_md_parser = subparsers.add_parser(
         "report-md", help="write a markdown reproduction report"
@@ -375,7 +454,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    with _telemetry_session(args):
+        return args.handler(args)
 
 
 if __name__ == "__main__":

@@ -30,8 +30,11 @@ from repro.rings.iro import InverterRingOscillator
 from repro.rings.str_ring import SelfTimedRing
 from repro.simulation.noise import SeedLike
 from repro.stats.accumulation import accumulation_profile
+from repro.telemetry import get_logger, span
 from repro.trng.elementary import predicted_shannon_entropy
 from repro.trng.phasewalk import reference_period_for_q
+
+_log = get_logger("repro.core.campaign")
 
 #: Periods per jitter-simulation segment in the fanned-out campaign.
 #: Segments are the unit of parallelism *within* one ring spec: a long
@@ -242,55 +245,68 @@ def run_campaign(
         raise ValueError("need at least one ring spec")
     bank = bank if bank is not None else BoardBank.manufacture(board_count=5, seed=0)
     nominal_board = bank[0]
-    if seed_mode == "shared" or isinstance(seed, np.random.Generator):
-        return _run_campaign_legacy(
-            specs, bank, voltages_v, jitter_periods, q_target, seed
+    with span(
+        "campaign", specs=len(specs), jitter_periods=jitter_periods
+    ) as tele:
+        _log.info(
+            "campaign.start",
+            specs=[spec.label for spec in specs],
+            jitter_periods=jitter_periods,
+            seed_mode=seed_mode,
         )
-
-    rings = [spec.build(nominal_board) for spec in specs]
-    spec_seeds = spawn_seeds(seed, len(specs))
-    lengths = _segment_lengths(jitter_periods, segment_periods)
-    tasks: List[GridTask] = []
-    for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
-        segment_seeds = spawn_seeds(spec_seed, len(lengths))
-        for segment_index, (length, segment_seed) in enumerate(zip(lengths, segment_seeds)):
-            tasks.append(
-                GridTask(
-                    kind="campaign_jitter_segment",
-                    spec={
-                        "ring": fingerprint(ring),
-                        "label": spec.label,
-                        "segment": segment_index,
-                        "period_count": length,
-                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
-                    },
-                    seed=segment_seed,
-                    payload={
-                        "ring": ring,
-                        "period_count": length,
-                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
-                    },
-                )
+        if seed_mode == "shared" or isinstance(seed, np.random.Generator):
+            report = _run_campaign_legacy(
+                specs, bank, voltages_v, jitter_periods, q_target, seed
             )
-    segments = run_grid(
-        tasks, _campaign_segment_worker, jobs=jobs, cache=cache, progress=progress
-    )
+            _log.info("campaign.complete", rings=len(report.results), path="legacy")
+            return report
 
-    results: List[RingCampaignResult] = []
-    for index, (spec, ring) in enumerate(zip(specs, rings)):
-        sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
-        dispersion = measure_family_dispersion(bank, spec.build)
-        own = segments[index * len(lengths) : (index + 1) * len(lengths)]
-        periods = np.concatenate([np.asarray(segment, dtype=float) for segment in own])
-        results.append(
-            _assemble_result(spec, ring, sweep, dispersion, periods, q_target)
+        rings = [spec.build(nominal_board) for spec in specs]
+        spec_seeds = spawn_seeds(seed, len(specs))
+        lengths = _segment_lengths(jitter_periods, segment_periods)
+        tasks: List[GridTask] = []
+        for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
+            segment_seeds = spawn_seeds(spec_seed, len(lengths))
+            for segment_index, (length, segment_seed) in enumerate(zip(lengths, segment_seeds)):
+                tasks.append(
+                    GridTask(
+                        kind="campaign_jitter_segment",
+                        spec={
+                            "ring": fingerprint(ring),
+                            "label": spec.label,
+                            "segment": segment_index,
+                            "period_count": length,
+                            "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                        },
+                        seed=segment_seed,
+                        payload={
+                            "ring": ring,
+                            "period_count": length,
+                            "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                        },
+                    )
+                )
+        tele.set("segments", len(tasks))
+        segments = run_grid(
+            tasks, _campaign_segment_worker, jobs=jobs, cache=cache, progress=progress
         )
-    return CampaignReport(
-        results=results,
-        voltages_v=[float(v) for v in voltages_v],
-        board_count=len(bank),
-        q_target=q_target,
-    )
+
+        results: List[RingCampaignResult] = []
+        for index, (spec, ring) in enumerate(zip(specs, rings)):
+            sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
+            dispersion = measure_family_dispersion(bank, spec.build)
+            own = segments[index * len(lengths) : (index + 1) * len(lengths)]
+            periods = np.concatenate([np.asarray(segment, dtype=float) for segment in own])
+            results.append(
+                _assemble_result(spec, ring, sweep, dispersion, periods, q_target)
+            )
+        _log.info("campaign.complete", rings=len(results), segments=len(tasks))
+        return CampaignReport(
+            results=results,
+            voltages_v=[float(v) for v in voltages_v],
+            board_count=len(bank),
+            q_target=q_target,
+        )
 
 
 def _run_campaign_legacy(

@@ -41,6 +41,9 @@ from repro.stats.descriptive import (
     relative_standard_deviation,
 )
 from repro.stats.normality import NormalityReport
+from repro.telemetry import get_logger, span
+
+_log = get_logger("repro.core.characterization")
 
 #: Resolves a ring oscillator on a board.
 RingBuilder = Callable[[Board], RingOscillator]
@@ -129,41 +132,42 @@ def sweep_voltage(
     """
     if len(voltages_v) < 2:
         raise ValueError("a sweep needs at least two voltage points")
-    rings = [
-        ring_builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
-        for voltage in voltages_v
-    ]
-    name = rings[-1].name
-    if not measure:
-        frequencies = [ring.predicted_frequency_mhz() for ring in rings]
-    elif isinstance(seed, np.random.Generator):
-        # Legacy coupled-stream path: one shared generator, strictly serial.
-        frequencies = [
-            ring.measure_frequency_mhz(period_count=period_count, seed=seed)
-            for ring in rings
+    with span("sweep_voltage", points=len(voltages_v), measured=bool(measure)):
+        rings = [
+            ring_builder(board.with_supply(SupplySpec(voltage_v=float(voltage))))
+            for voltage in voltages_v
         ]
-    else:
-        seeds = _point_seeds(seed, len(rings), seed_mode)
-        tasks = [
-            GridTask(
-                kind="sweep_point",
-                spec={
-                    "ring": fingerprint(ring),
-                    "voltage_v": float(voltage),
-                    "period_count": period_count,
-                },
-                seed=point_seed,
-                payload={"ring": ring, "period_count": period_count},
-            )
-            for ring, voltage, point_seed in zip(rings, voltages_v, seeds)
-        ]
-        frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
-    return VoltageSweepResult(
-        ring_name=name,
-        voltages_v=np.asarray(voltages_v, dtype=float),
-        frequencies_mhz=np.asarray(frequencies, dtype=float),
-        nominal_voltage_v=NOMINAL_CORE_VOLTAGE,
-    )
+        name = rings[-1].name
+        if not measure:
+            frequencies = [ring.predicted_frequency_mhz() for ring in rings]
+        elif isinstance(seed, np.random.Generator):
+            # Legacy coupled-stream path: one shared generator, strictly serial.
+            frequencies = [
+                ring.measure_frequency_mhz(period_count=period_count, seed=seed)
+                for ring in rings
+            ]
+        else:
+            seeds = _point_seeds(seed, len(rings), seed_mode)
+            tasks = [
+                GridTask(
+                    kind="sweep_point",
+                    spec={
+                        "ring": fingerprint(ring),
+                        "voltage_v": float(voltage),
+                        "period_count": period_count,
+                    },
+                    seed=point_seed,
+                    payload={"ring": ring, "period_count": period_count},
+                )
+                for ring, voltage, point_seed in zip(rings, voltages_v, seeds)
+            ]
+            frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
+        return VoltageSweepResult(
+            ring_name=name,
+            voltages_v=np.asarray(voltages_v, dtype=float),
+            frequencies_mhz=np.asarray(frequencies, dtype=float),
+            nominal_voltage_v=NOMINAL_CORE_VOLTAGE,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -204,37 +208,38 @@ def measure_family_dispersion(
     same noise stream, understating the dispersion of measured
     frequencies; ``seed_mode="shared"`` restores that behaviour.
     """
-    rings = [ring_builder(board) for board in bank]
-    names = tuple(board.name for board in bank)
-    ring_name = rings[-1].name
-    if not measure:
-        frequencies = [ring.predicted_frequency_mhz() for ring in rings]
-    elif isinstance(seed, np.random.Generator):
-        frequencies = [
-            ring.measure_frequency_mhz(period_count=period_count, seed=seed)
-            for ring in rings
-        ]
-    else:
-        seeds = _point_seeds(seed, len(rings), seed_mode)
-        tasks = [
-            GridTask(
-                kind="dispersion_point",
-                spec={
-                    "ring": fingerprint(ring),
-                    "board": board.name,
-                    "period_count": period_count,
-                },
-                seed=point_seed,
-                payload={"ring": ring, "period_count": period_count},
-            )
-            for ring, board, point_seed in zip(rings, bank, seeds)
-        ]
-        frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
-    return FamilyDispersionResult(
-        ring_name=ring_name,
-        board_names=names,
-        frequencies_mhz=np.asarray(frequencies, dtype=float),
-    )
+    with span("family_dispersion", boards=len(bank), measured=bool(measure)):
+        rings = [ring_builder(board) for board in bank]
+        names = tuple(board.name for board in bank)
+        ring_name = rings[-1].name
+        if not measure:
+            frequencies = [ring.predicted_frequency_mhz() for ring in rings]
+        elif isinstance(seed, np.random.Generator):
+            frequencies = [
+                ring.measure_frequency_mhz(period_count=period_count, seed=seed)
+                for ring in rings
+            ]
+        else:
+            seeds = _point_seeds(seed, len(rings), seed_mode)
+            tasks = [
+                GridTask(
+                    kind="dispersion_point",
+                    spec={
+                        "ring": fingerprint(ring),
+                        "board": board.name,
+                        "period_count": period_count,
+                    },
+                    seed=point_seed,
+                    payload={"ring": ring, "period_count": period_count},
+                )
+                for ring, board, point_seed in zip(rings, bank, seeds)
+            ]
+            frequencies = run_grid(tasks, _measure_frequency_worker, jobs=jobs, cache=cache)
+        return FamilyDispersionResult(
+            ring_name=ring_name,
+            board_names=names,
+            frequencies_mhz=np.asarray(frequencies, dtype=float),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -275,29 +280,30 @@ def measure_period_jitter(
     """
     if method not in ("population", "direct", "divider"):
         raise ValueError(f"unknown method {method!r}")
-    # Process-varied rings settle slowly (weak restoring slopes near the
-    # Charlie bottom); a generous warm-up keeps the start-up transient
-    # out of the jitter statistics.
-    result = ring.simulate(period_count, seed=seed, warmup_periods=warmup_periods)
-    trace = result.trace
-    mean_period = trace.mean_period_ps()
-    divider_reading = None
-    if method == "population":
-        sigma = trace.period_jitter_ps()
-    elif method == "direct":
-        sigma = measure_period_jitter_direct(trace, seed=seed).sigma_period_ps
-    else:
-        divider = divider if divider is not None else RippleDivider()
-        divider_reading = measure_period_jitter_divider(trace, divider=divider, seed=seed)
-        sigma = divider_reading.sigma_period_ps
-    return JitterMeasurementResult(
-        ring_name=ring.name,
-        stage_count=ring.stage_count,
-        sigma_period_ps=sigma,
-        mean_period_ps=mean_period,
-        method=method,
-        divider_reading=divider_reading,
-    )
+    with span("measure_period_jitter", ring=ring.name, method=method):
+        # Process-varied rings settle slowly (weak restoring slopes near
+        # the Charlie bottom); a generous warm-up keeps the start-up
+        # transient out of the jitter statistics.
+        result = ring.simulate(period_count, seed=seed, warmup_periods=warmup_periods)
+        trace = result.trace
+        mean_period = trace.mean_period_ps()
+        divider_reading = None
+        if method == "population":
+            sigma = trace.period_jitter_ps()
+        elif method == "direct":
+            sigma = measure_period_jitter_direct(trace, seed=seed).sigma_period_ps
+        else:
+            divider = divider if divider is not None else RippleDivider()
+            divider_reading = measure_period_jitter_divider(trace, divider=divider, seed=seed)
+            sigma = divider_reading.sigma_period_ps
+        return JitterMeasurementResult(
+            ring_name=ring.name,
+            stage_count=ring.stage_count,
+            sigma_period_ps=sigma,
+            mean_period_ps=mean_period,
+            method=method,
+            divider_reading=divider_reading,
+        )
 
 
 def _jitter_result_to_payload(result: JitterMeasurementResult) -> Dict[str, Any]:
@@ -359,38 +365,48 @@ def jitter_versus_length(
 
     if ring_family not in ("iro", "str"):
         raise ValueError(f"ring_family must be 'iro' or 'str', got {ring_family!r}")
-    rings: List[RingOscillator] = []
-    for length in lengths:
-        if ring_family == "iro":
-            rings.append(InverterRingOscillator.on_board(board, length))
-        else:
-            rings.append(SelfTimedRing.on_board(board, length))
-    if isinstance(seed, np.random.Generator):
-        return [
-            measure_period_jitter(ring, method=method, period_count=period_count, seed=seed)
-            for ring in rings
-        ]
-    seeds = _point_seeds(seed, len(rings), seed_mode)
-    tasks = [
-        GridTask(
-            kind="jitter_point",
-            spec={
-                "ring": fingerprint(ring),
-                "length": int(length),
-                "family": ring_family,
-                "method": method,
-                "period_count": period_count,
-                "warmup_periods": 64,
-            },
-            seed=point_seed,
-            payload={
-                "ring": ring,
-                "method": method,
-                "period_count": period_count,
-                "warmup_periods": 64,
-            },
+    with span(
+        "jitter_versus_length", family=ring_family, lengths=len(lengths)
+    ):
+        _log.info(
+            "jitter_versus_length.start",
+            family=ring_family,
+            lengths=[int(length) for length in lengths],
+            period_count=period_count,
         )
-        for ring, length, point_seed in zip(rings, lengths, seeds)
-    ]
-    payloads = run_grid(tasks, _jitter_point_worker, jobs=jobs, cache=cache)
-    return [_jitter_result_from_payload(payload) for payload in payloads]
+        rings: List[RingOscillator] = []
+        for length in lengths:
+            if ring_family == "iro":
+                rings.append(InverterRingOscillator.on_board(board, length))
+            else:
+                rings.append(SelfTimedRing.on_board(board, length))
+        if isinstance(seed, np.random.Generator):
+            return [
+                measure_period_jitter(ring, method=method, period_count=period_count, seed=seed)
+                for ring in rings
+            ]
+        seeds = _point_seeds(seed, len(rings), seed_mode)
+        tasks = [
+            GridTask(
+                kind="jitter_point",
+                spec={
+                    "ring": fingerprint(ring),
+                    "length": int(length),
+                    "family": ring_family,
+                    "method": method,
+                    "period_count": period_count,
+                    "warmup_periods": 64,
+                },
+                seed=point_seed,
+                payload={
+                    "ring": ring,
+                    "method": method,
+                    "period_count": period_count,
+                    "warmup_periods": 64,
+                },
+            )
+            for ring, length, point_seed in zip(rings, lengths, seeds)
+        ]
+        payloads = run_grid(tasks, _jitter_point_worker, jobs=jobs, cache=cache)
+        _log.info("jitter_versus_length.complete", family=ring_family, points=len(payloads))
+        return [_jitter_result_from_payload(payload) for payload in payloads]

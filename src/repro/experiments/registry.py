@@ -34,6 +34,9 @@ from repro.experiments import (
     table2_process,
 )
 from repro.experiments.base import ExperimentResult
+from repro.telemetry import default_registry, get_logger, span
+
+_log = get_logger("repro.experiments")
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "FIG4": fig04_propagation.run,
@@ -96,5 +99,17 @@ def experiment_title(experiment_id: str) -> str:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by id with optional config overrides."""
-    return get_experiment(experiment_id)(**kwargs)
+    """Run an experiment by id with optional config overrides.
+
+    The run is wrapped in the top-level ``experiment`` span, so a traced
+    CLI invocation nests as experiment -> campaign/driver -> run_grid ->
+    grid_point -> simulate.
+    """
+    experiment_id = experiment_id.upper()
+    run = get_experiment(experiment_id)
+    with span("experiment", id=experiment_id):
+        _log.info("experiment.start", id=experiment_id, overrides=sorted(kwargs))
+        result = run(**kwargs)
+        default_registry().counter("repro.experiments.runs").inc()
+        _log.info("experiment.complete", id=experiment_id)
+        return result

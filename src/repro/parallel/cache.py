@@ -46,6 +46,8 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.telemetry import default_registry
+
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -103,21 +105,33 @@ def canonical(value: Any) -> Any:
 
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of a cache directory plus this process's hit counters."""
+    """Snapshot of a cache directory plus hit counters.
+
+    ``hits``/``misses`` count this *instance's* lookups.  The
+    ``aggregate_*`` figures come from the process-global telemetry
+    registry (``repro.parallel.cache.hits``/``.misses``), which every
+    :class:`ResultCache` instance feeds and into which the campaign
+    executor merges pool-worker snapshots — so after a ``--jobs N``
+    campaign they report the whole session, not just one instance.
+    """
 
     root: str
     entry_count: int
     total_bytes: int
     hits: int
     misses: int
+    aggregate_hits: int = 0
+    aggregate_misses: int = 0
 
     def render(self) -> str:
         lines = [
-            f"cache root:   {self.root}",
-            f"entries:      {self.entry_count}",
-            f"size:         {self.total_bytes / 1024:.1f} KiB",
-            f"session hits: {self.hits}",
-            f"session miss: {self.misses}",
+            f"cache root:     {self.root}",
+            f"entries:        {self.entry_count}",
+            f"size:           {self.total_bytes / 1024:.1f} KiB",
+            f"instance hits:  {self.hits}",
+            f"instance miss:  {self.misses}",
+            f"session hits:   {self.aggregate_hits}",
+            f"session miss:   {self.aggregate_misses}",
         ]
         return "\n".join(lines)
 
@@ -173,8 +187,10 @@ class ResultCache:
             result = payload["result"]
         except (OSError, ValueError, KeyError):
             self.misses += 1
+            default_registry().counter("repro.parallel.cache.misses").inc()
             return MISSING
         self.hits += 1
+        default_registry().counter("repro.parallel.cache.hits").inc()
         return result
 
     def put(self, kind: str, spec: Dict[str, Any], seed: Optional[int], result: Any) -> None:
@@ -195,6 +211,7 @@ class ResultCache:
             with handle:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
+            default_registry().counter("repro.parallel.cache.writes").inc()
         except BaseException:
             try:
                 os.unlink(handle.name)
@@ -224,12 +241,15 @@ class ResultCache:
                 total_bytes += path.stat().st_size
             except OSError:
                 pass
+        registry = default_registry()
         return CacheStats(
             root=str(self.root),
             entry_count=entry_count,
             total_bytes=total_bytes,
             hits=self.hits,
             misses=self.misses,
+            aggregate_hits=registry.counter("repro.parallel.cache.hits").value,
+            aggregate_misses=registry.counter("repro.parallel.cache.misses").value,
         )
 
     def clear(self) -> int:

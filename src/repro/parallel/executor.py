@@ -28,10 +28,23 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.parallel.cache import MISSING, ResultCache
+from repro.telemetry import (
+    MemorySink,
+    MetricsRegistry,
+    MetricsSnapshot,
+    current_span_id,
+    default_registry,
+    emit_raw,
+    sink_enabled,
+    span,
+    use_registry,
+    use_sink,
+)
 
 #: Called after each completed task with (done_count, total_count).
 ProgressCallback = Callable[[int, int], None]
@@ -75,9 +88,54 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
-def _run_chunk(worker: Callable[[GridTask], Any], tasks: List[GridTask]) -> List[Any]:
-    """Evaluate one chunk in a worker process."""
-    return [worker(task) for task in tasks]
+def _execute_task(
+    worker: Callable[[GridTask], Any], task: GridTask, registry: MetricsRegistry
+) -> Any:
+    """Run one task under its grid-point span and timing metrics.
+
+    Shared by the serial path and the pool workers so both produce the
+    same telemetry shape (span ``grid_point`` wrapping whatever the
+    worker itself records, e.g. the ring ``simulate`` span).
+    """
+    with span("grid_point", kind=task.kind, seed=task.seed):
+        start = time.perf_counter()
+        value = worker(task)
+        elapsed = time.perf_counter() - start
+    registry.counter("repro.parallel.tasks").inc()
+    registry.histogram("repro.parallel.task_seconds").observe(elapsed)
+    return value
+
+
+def _run_chunk(
+    worker: Callable[[GridTask], Any],
+    tasks: List[GridTask],
+    capture_trace: bool = False,
+) -> Dict[str, Any]:
+    """Evaluate one chunk in a worker process.
+
+    The chunk runs under a *fresh* metrics registry (the worker may have
+    inherited the parent's registry state through ``fork``) whose
+    snapshot is shipped back for the parent to merge.  When the parent
+    is tracing, span/event/log records are captured in a
+    :class:`MemorySink` and shipped back too; the parent re-emits them
+    into its own sink, re-parenting worker-root spans onto the active
+    grid span.
+    """
+    registry = MetricsRegistry()
+    sink = MemorySink() if capture_trace else None
+    busy_start = time.perf_counter()
+    with use_registry(registry):
+        if sink is not None:
+            with use_sink(sink):
+                values = [_execute_task(worker, task, registry) for task in tasks]
+        else:
+            values = [_execute_task(worker, task, registry) for task in tasks]
+    return {
+        "values": values,
+        "metrics": registry.snapshot().to_dict(),
+        "records": sink.records if sink is not None else [],
+        "busy_s": time.perf_counter() - busy_start,
+    }
 
 
 def _chunk_indices(pending: List[int], jobs: int, chunk_size: Optional[int]) -> List[List[int]]:
@@ -120,30 +178,39 @@ def run_grid(
     """
     tasks = list(tasks)
     total = len(tasks)
-    results: List[Any] = [None] * total
-    pending: List[int] = []
-    for index, task in enumerate(tasks):
-        if cache is not None:
-            value = cache.get(task.kind, task.spec, task.seed)
-            if value is not MISSING:
-                results[index] = value
-                continue
-        pending.append(index)
-    done = total - len(pending)
-    if progress is not None and total:
-        progress(done, total)
-    if not pending:
-        return results
+    with span(
+        "run_grid", kind=tasks[0].kind if tasks else "", tasks=total
+    ) as tele:
+        registry = default_registry()
+        registry.counter("repro.parallel.grids").inc()
+        registry.counter("repro.parallel.tasks_submitted").inc(total)
+        results: List[Any] = [None] * total
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            if cache is not None:
+                value = cache.get(task.kind, task.spec, task.seed)
+                if value is not MISSING:
+                    results[index] = value
+                    continue
+            pending.append(index)
+        done = total - len(pending)
+        tele.set("cache_hits", done)
+        if progress is not None and total:
+            progress(done, total)
+        if not pending:
+            return results
 
-    job_count = resolve_jobs(jobs)
-    completed = False
-    if job_count > 1 and len(pending) > 1:
-        completed = _run_parallel(
-            tasks, pending, worker, job_count, chunk_size, cache, progress, done, total, results
-        )
-    if not completed:
-        _run_serial(tasks, pending, worker, cache, progress, done, total, results)
-    return results
+        job_count = resolve_jobs(jobs)
+        registry.gauge("repro.parallel.jobs").set(job_count)
+        completed = False
+        if job_count > 1 and len(pending) > 1:
+            completed = _run_parallel(
+                tasks, pending, worker, job_count, chunk_size, cache, progress, done, total, results
+            )
+        if not completed:
+            _run_serial(tasks, pending, worker, cache, progress, done, total, results)
+        tele.set("executed", len(pending))
+        return results
 
 
 def _store(
@@ -164,8 +231,9 @@ def _run_serial(
     total: int,
     results: List[Any],
 ) -> None:
+    registry = default_registry()
     for index in pending:
-        _store(cache, tasks[index], worker(tasks[index]), results, index)
+        _store(cache, tasks[index], _execute_task(worker, tasks[index], registry), results, index)
         done += 1
         if progress is not None:
             progress(done, total)
@@ -189,18 +257,48 @@ def _run_parallel(
     environment without multiprocessing primitives — abandons the pool.
     Genuine worker exceptions simply reproduce on the serial retry (the
     computation is deterministic), so nothing is silently swallowed.
+
+    Each completed chunk ships its worker-side metrics snapshot home
+    (merged into the parent's default registry) and, when the parent is
+    tracing, its captured span/event/log records, which are re-emitted
+    into the parent sink with worker-root spans re-parented onto the
+    enclosing ``run_grid`` span.
     """
     chunks = _chunk_indices(pending, jobs, chunk_size)
+    capture_trace = sink_enabled()
+    registry = default_registry()
+    parent_span_id = None
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            futures = {
-                pool.submit(_run_chunk, worker, [tasks[i] for i in chunk]): chunk
-                for chunk in chunks
-            }
+            submitted_at: Dict[Any, float] = {}
+            futures = {}
+            for chunk in chunks:
+                future = pool.submit(
+                    _run_chunk, worker, [tasks[i] for i in chunk], capture_trace
+                )
+                futures[future] = chunk
+                submitted_at[future] = time.perf_counter()
             for future in as_completed(futures):
                 chunk = futures[future]
-                for index, value in zip(chunk, future.result()):
+                payload = future.result()
+                roundtrip_s = time.perf_counter() - submitted_at[future]
+                for index, value in zip(chunk, payload["values"]):
                     _store(cache, tasks[index], value, results, index)
+                registry.merge(MetricsSnapshot.from_dict(payload["metrics"]))
+                registry.counter("repro.parallel.chunks").inc()
+                registry.histogram("repro.parallel.chunk_seconds").observe(roundtrip_s)
+                # Round trip minus worker compute = queueing + pickling
+                # overhead: the "why is my pool idle" number.
+                registry.histogram("repro.parallel.queue_wait_seconds").observe(
+                    max(0.0, roundtrip_s - payload["busy_s"])
+                )
+                if payload["records"]:
+                    if parent_span_id is None:
+                        parent_span_id = current_span_id()
+                    for record in payload["records"]:
+                        if record.get("parent_id") is None:
+                            record["parent_id"] = parent_span_id
+                        emit_raw(record)
                 done += len(chunk)
                 if progress is not None:
                     progress(done, total)

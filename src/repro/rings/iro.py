@@ -28,6 +28,7 @@ from repro.simulation.noise import (
     make_rng,
 )
 from repro.simulation.waveform import EdgeTrace
+from repro.telemetry import default_registry, span
 
 
 class InverterRingOscillator(RingOscillator):
@@ -166,19 +167,24 @@ class InverterRingOscillator(RingOscillator):
         if warmup_periods < 0:
             raise ValueError(f"warmup_periods must be non-negative, got {warmup_periods}")
         rng = make_rng(seed)
-        process = _IROProcess(self, modulation, rng)
-        simulator = Simulator()
-        output_node = self.stage_count - 1
-        simulator.observe(output_node)
-        # +1 edge so the last period is complete; x2 edges per period.
-        needed_edges = 2 * (period_count + warmup_periods) + 1
-        simulator.run(process, SimulationLimits(max_observed_edges=needed_edges))
-        full_trace = EdgeTrace.from_edges(simulator.edges_for(output_node))
-        return SimulationResult(
-            trace=full_trace.skip_edges(2 * warmup_periods),
-            warmup_trace=full_trace,
-            events_processed=simulator.events_processed,
-        )
+        with span("simulate", ring=self.name, periods=period_count) as tele:
+            process = _IROProcess(self, modulation, rng)
+            simulator = Simulator()
+            output_node = self.stage_count - 1
+            simulator.observe(output_node)
+            # +1 edge so the last period is complete; x2 edges per period.
+            needed_edges = 2 * (period_count + warmup_periods) + 1
+            simulator.run(process, SimulationLimits(max_observed_edges=needed_edges))
+            full_trace = EdgeTrace.from_edges(simulator.edges_for(output_node))
+            tele.set("events", simulator.events_processed)
+            registry = default_registry()
+            registry.counter("repro.rings.iro.simulations").inc()
+            registry.counter("repro.rings.iro.events").inc(simulator.events_processed)
+            return SimulationResult(
+                trace=full_trace.skip_edges(2 * warmup_periods),
+                warmup_trace=full_trace,
+                events_processed=simulator.events_processed,
+            )
 
 
 class _IROProcess:

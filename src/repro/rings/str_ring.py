@@ -44,6 +44,7 @@ from repro.simulation.noise import (
     make_rng,
 )
 from repro.simulation.waveform import EdgeTrace
+from repro.telemetry import default_registry, span
 
 _SQRT2 = math.sqrt(2.0)
 
@@ -262,23 +263,29 @@ class SelfTimedRing(RingOscillator):
         if not (0 <= output_stage < self.stage_count):
             raise ValueError(f"output stage {output_stage} outside ring of {self.stage_count}")
         rng = make_rng(seed)
-        process = _STRProcess(self, modulation, rng)
-        simulator = Simulator()
-        simulator.observe(output_stage)
-        needed_edges = 2 * (period_count + warmup_periods) + 1
-        reason = simulator.run(process, SimulationLimits(max_observed_edges=needed_edges))
-        full_trace = EdgeTrace.from_edges(simulator.edges_for(output_stage))
-        if reason is StopReason.QUEUE_EMPTY or len(full_trace) < needed_edges:
-            raise RuntimeError(
-                f"{self.name} deadlocked (engine reported {reason.value}) after "
-                f"{len(full_trace)} observed edges (wanted {needed_edges}); "
-                f"final state {''.join(str(v) for v in process.state_snapshot())}"
+        with span("simulate", ring=self.name, periods=period_count) as tele:
+            process = _STRProcess(self, modulation, rng)
+            simulator = Simulator()
+            simulator.observe(output_stage)
+            needed_edges = 2 * (period_count + warmup_periods) + 1
+            reason = simulator.run(process, SimulationLimits(max_observed_edges=needed_edges))
+            full_trace = EdgeTrace.from_edges(simulator.edges_for(output_stage))
+            tele.set("events", simulator.events_processed)
+            registry = default_registry()
+            registry.counter("repro.rings.str.simulations").inc()
+            registry.counter("repro.rings.str.events").inc(simulator.events_processed)
+            if reason is StopReason.QUEUE_EMPTY or len(full_trace) < needed_edges:
+                registry.counter("repro.rings.str.deadlocks").inc()
+                raise RuntimeError(
+                    f"{self.name} deadlocked (engine reported {reason.value}) after "
+                    f"{len(full_trace)} observed edges (wanted {needed_edges}); "
+                    f"final state {''.join(str(v) for v in process.state_snapshot())}"
+                )
+            return SimulationResult(
+                trace=full_trace.skip_edges(2 * warmup_periods),
+                warmup_trace=full_trace,
+                events_processed=simulator.events_processed,
             )
-        return SimulationResult(
-            trace=full_trace.skip_edges(2 * warmup_periods),
-            warmup_trace=full_trace,
-            events_processed=simulator.events_processed,
-        )
 
 
     def simulate_phases(
@@ -301,16 +308,23 @@ class SelfTimedRing(RingOscillator):
         if warmup_periods < 0:
             raise ValueError(f"warmup_periods must be non-negative, got {warmup_periods}")
         rng = make_rng(seed)
-        process = _STRProcess(self, modulation, rng)
-        simulator = Simulator()
-        stage_count = self.stage_count
-        for stage in range(stage_count):
-            simulator.observe(stage)
-        edges_per_stage = 2 * (period_count + warmup_periods) + 1
-        simulator.run(
-            process,
-            SimulationLimits(max_observed_edges=stage_count * edges_per_stage),
-        )
+        with span(
+            "simulate_phases", ring=self.name, periods=period_count
+        ) as tele:
+            process = _STRProcess(self, modulation, rng)
+            simulator = Simulator()
+            stage_count = self.stage_count
+            for stage in range(stage_count):
+                simulator.observe(stage)
+            edges_per_stage = 2 * (period_count + warmup_periods) + 1
+            simulator.run(
+                process,
+                SimulationLimits(max_observed_edges=stage_count * edges_per_stage),
+            )
+            tele.set("events", simulator.events_processed)
+            registry = default_registry()
+            registry.counter("repro.rings.str.simulations").inc()
+            registry.counter("repro.rings.str.events").inc(simulator.events_processed)
         stage_traces = []
         for stage in range(stage_count):
             trace = EdgeTrace.from_edges(simulator.edges_for(stage))

@@ -1,0 +1,122 @@
+"""Unified telemetry: metrics registry, tracing spans, structured logs.
+
+One observability layer shared by every part of the reproduction —
+ring simulations, the parallel campaign executor, the supervised TRNG
+runtime, and the CLI:
+
+* :mod:`repro.telemetry.registry` — counters, gauges and fixed-bucket
+  histograms in a process-global registry, with JSON-able snapshots
+  that merge across pool workers;
+* :mod:`repro.telemetry.tracing` — nested :func:`span`\\ s and
+  point-in-time :func:`emit_event`\\ s written through a pluggable sink;
+* :mod:`repro.telemetry.logs` — :func:`get_logger` structured logging
+  through the same sink;
+* :mod:`repro.telemetry.sinks` — the sink protocol plus the null,
+  JSONL and in-memory implementations;
+* :mod:`repro.telemetry.summarize` — the ``repro trace summarize``
+  report builder.
+
+Everything is disabled by default: the sink is :data:`NULL_SINK`, so
+spans, events and log records vanish after a single enabled-check, and
+only the (cheap, always-on) registry counters accumulate.  The CLI's
+``--trace FILE`` flag installs a :class:`JsonlSink` for one run.
+
+Metric names follow ``repro.<layer>.<name>`` — see
+``docs/observability.md`` for the catalogue and the sink protocol.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.logs import StructuredLogger, get_logger, set_stderr_level
+from repro.telemetry.registry import (
+    DEFAULT_TIME_EDGES_S,
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NoopMetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.telemetry.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TelemetrySink,
+    get_sink,
+    set_sink,
+    sink_enabled,
+    use_sink,
+)
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    Clock,
+    Span,
+    current_span_id,
+    emit_event,
+    emit_metrics,
+    emit_raw,
+    set_clock,
+    span,
+    use_clock,
+)
+
+
+@contextmanager
+def all_disabled() -> Iterator[None]:
+    """Turn the whole telemetry layer off (benchmark baseline).
+
+    Installs the null sink *and* the write-discarding registry, so the
+    instrumented hot paths run with every telemetry write reduced to a
+    no-op method call.  The overhead benchmark compares this baseline
+    against the default null-sink path to bound what always-on
+    telemetry costs.
+    """
+    with use_sink(NULL_SINK):
+        with use_registry(NOOP_REGISTRY):
+            yield
+
+
+__all__ = [
+    "DEFAULT_TIME_EDGES_S",
+    "NOOP_REGISTRY",
+    "NULL_SINK",
+    "NULL_SPAN",
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NoopMetricsRegistry",
+    "NullSink",
+    "Span",
+    "StructuredLogger",
+    "TelemetrySink",
+    "all_disabled",
+    "current_span_id",
+    "default_registry",
+    "emit_event",
+    "emit_metrics",
+    "emit_raw",
+    "get_logger",
+    "get_sink",
+    "set_clock",
+    "set_default_registry",
+    "set_sink",
+    "set_stderr_level",
+    "sink_enabled",
+    "span",
+    "use_clock",
+    "use_registry",
+    "use_sink",
+]

@@ -1,0 +1,100 @@
+"""Structured logging: JSON records through the telemetry sink.
+
+``get_logger(name)`` returns a :class:`StructuredLogger` whose methods
+take an *event name* plus keyword fields rather than a format string::
+
+    log = get_logger("repro.core.campaign")
+    log.info("campaign_start", specs=3, tasks=12, jobs=4)
+
+Each call emits one ``log`` record through the active sink, tagged with
+the enclosing span so log lines land on the trace timeline.  With the
+default null sink, calls are dropped after one enabled-check — leaving
+``log.debug`` in hot-ish code is fine.
+
+For interactive debugging the ``REPRO_LOG`` environment variable (or
+:func:`set_stderr_level`) mirrors records at or above the given level
+(``debug``/``info``/``warning``/``error``) to standard error as compact
+JSON lines, independent of any sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Dict, Optional
+
+from repro.telemetry.sinks import _jsonable, get_sink, sink_enabled
+from repro.telemetry.tracing import current_span_id
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_stderr_threshold: Optional[int] = LEVELS.get(
+    os.environ.get("REPRO_LOG", "").strip().lower() or "-"
+)
+
+
+def set_stderr_level(level: Optional[str]) -> None:
+    """Mirror records at/above ``level`` to stderr; ``None`` disables."""
+    global _stderr_threshold
+    if level is None:
+        _stderr_threshold = None
+        return
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {sorted(LEVELS)}")
+    _stderr_threshold = LEVELS[level]
+
+
+class StructuredLogger:
+    """Named emitter of structured ``log`` records."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        mirror = _stderr_threshold is not None and LEVELS[level] >= _stderr_threshold
+        if not sink_enabled() and not mirror:
+            return
+        record = {
+            "type": "log",
+            "level": level,
+            "logger": self.name,
+            "event": event,
+            "parent_id": current_span_id(),
+            "fields": fields,
+        }
+        if sink_enabled():
+            get_sink().emit(record)
+        if mirror:
+            print(
+                json.dumps(record, separators=(",", ":"), default=_jsonable),
+                file=sys.stderr,
+            )
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def __repr__(self) -> str:
+        return f"StructuredLogger({self.name!r})"
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) structured logger for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = StructuredLogger(name)
+    return logger

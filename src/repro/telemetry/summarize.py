@@ -1,0 +1,253 @@
+"""Trace analysis: turn a JSONL trace into a timing report.
+
+``repro trace summarize out.jsonl`` calls :func:`summarize_file` and
+prints the resulting :class:`TraceSummary`:
+
+* a **span tree** — spans grouped by (tree position, name), with call
+  counts and total/mean/min/max durations, so a campaign trace reads
+  like a profiler report (``campaign -> grid_point -> simulate``);
+* **event totals** by event name (supervisor alarms, failovers, ...);
+* **metric totals** merged from every ``metrics`` record in the trace
+  (the CLI emits one per run, pool workers contribute through the
+  parent's merged registry).
+
+Spans recorded in worker processes are re-parented by the executor when
+shipped home, so one file holds a single connected timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+
+#: A parsed trace record (one JSONL line).
+Record = Dict[str, Any]
+
+
+def read_records(path: Union[str, Path]) -> List[Record]:
+    """Parse a JSONL trace file; raises ``ValueError`` on a bad line."""
+    records: List[Record] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON in trace: {error}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{line_number}: trace records must be objects"
+                )
+            records.append(record)
+    return records
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """One span instance placed in the reconstructed tree."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_s: float
+    duration_s: float
+    status: str
+    attrs: Dict[str, Any]
+    children: List["SpanNode"] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRollup:
+    """Aggregated timing of all same-named spans at one tree position."""
+
+    depth: int
+    name: str
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+    errors: int
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def build_span_forest(records: Iterable[Record]) -> List[SpanNode]:
+    """Reconstruct the span tree(s) from ``span`` records.
+
+    Spans whose parent never closed (or was never recorded) become
+    roots.  Children are ordered by start time.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    ordered: List[SpanNode] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        node = SpanNode(
+            name=str(record.get("name", "?")),
+            span_id=str(record.get("span_id")),
+            parent_id=record.get("parent_id"),
+            start_s=float(record.get("start_s", 0.0)),
+            duration_s=float(record.get("duration_s", 0.0)),
+            status=str(record.get("status", "ok")),
+            attrs=dict(record.get("attrs", {})),
+        )
+        nodes[node.span_id] = node
+        ordered.append(node)
+    roots: List[SpanNode] = []
+    for node in ordered:
+        parent = nodes.get(node.parent_id) if node.parent_id is not None else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in ordered:
+        node.children.sort(key=lambda child: child.start_s)
+    roots.sort(key=lambda node: node.start_s)
+    return roots
+
+
+def _rollup(nodes: List[SpanNode], depth: int, rows: List[SpanRollup]) -> None:
+    """Group sibling spans by name, emit one row each, recurse."""
+    by_name: Dict[str, List[SpanNode]] = {}
+    for node in nodes:
+        by_name.setdefault(node.name, []).append(node)
+    for name, group in sorted(
+        by_name.items(), key=lambda item: min(node.start_s for node in item[1])
+    ):
+        durations = [node.duration_s for node in group]
+        rows.append(
+            SpanRollup(
+                depth=depth,
+                name=name,
+                count=len(group),
+                total_s=sum(durations),
+                min_s=min(durations),
+                max_s=max(durations),
+                errors=sum(1 for node in group if node.status != "ok"),
+            )
+        )
+        _rollup(
+            [child for node in group for child in node.children], depth + 1, rows
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSummary:
+    """Everything ``repro trace summarize`` reports."""
+
+    record_count: int
+    span_count: int
+    event_count: int
+    log_count: int
+    span_rows: List[SpanRollup]
+    event_totals: Dict[str, int]
+    metrics: MetricsSnapshot
+
+    def render(self) -> str:
+        lines = [
+            f"trace: {self.record_count} records "
+            f"({self.span_count} spans, {self.event_count} events, "
+            f"{self.log_count} logs)"
+        ]
+        if self.span_rows:
+            lines.append("")
+            header = ("span", "count", "total [s]", "mean [s]", "max [s]")
+            table = [header]
+            for row in self.span_rows:
+                label = "  " * row.depth + row.name
+                if row.errors:
+                    label += f" ({row.errors} errors)"
+                table.append(
+                    (
+                        label,
+                        str(row.count),
+                        f"{row.total_s:.3f}",
+                        f"{row.mean_s:.3f}",
+                        f"{row.max_s:.3f}",
+                    )
+                )
+            widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+            for index, row_cells in enumerate(table):
+                cells = [row_cells[0].ljust(widths[0])] + [
+                    cell.rjust(width)
+                    for cell, width in zip(row_cells[1:], widths[1:])
+                ]
+                lines.append("  ".join(cells).rstrip())
+                if index == 0:
+                    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        if self.event_totals:
+            lines.append("")
+            lines.append("events:")
+            for name, count in sorted(self.event_totals.items()):
+                lines.append(f"  {name}  x{count}")
+        metric_lines = render_metrics(self.metrics)
+        if metric_lines:
+            lines.append("")
+            lines.append(metric_lines)
+        return "\n".join(lines)
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    """Aligned plain-text table of a snapshot's metric totals."""
+    if not (snapshot.counters or snapshot.gauges or snapshot.histograms):
+        return ""
+    rows: List[Tuple[str, str]] = []
+    for name in sorted(snapshot.counters):
+        rows.append((name, str(snapshot.counters[name])))
+    for name in sorted(snapshot.gauges):
+        rows.append((name, f"{snapshot.gauges[name]:g}"))
+    for name in sorted(snapshot.histograms):
+        body = snapshot.histograms[name]
+        count = body["count"]
+        mean = body["sum"] / count if count else 0.0
+        rows.append((name, f"n={count} sum={body['sum']:.3f} mean={mean:.4f}"))
+    width = max(len(name) for name, _ in rows)
+    lines = ["metric totals:"]
+    for name, value in rows:
+        lines.append(f"  {name.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def summarize_records(records: List[Record]) -> TraceSummary:
+    """Build the summary of an in-memory record list."""
+    span_records = [r for r in records if r.get("type") == "span"]
+    event_records = [r for r in records if r.get("type") == "event"]
+    log_records = [r for r in records if r.get("type") == "log"]
+
+    rows: List[SpanRollup] = []
+    _rollup(build_span_forest(records), 0, rows)
+
+    event_totals: Dict[str, int] = {}
+    for record in event_records:
+        name = str(record.get("name", "?"))
+        event_totals[name] = event_totals.get(name, 0) + 1
+
+    merged = MetricsRegistry()
+    for record in records:
+        if record.get("type") == "metrics":
+            merged.merge(MetricsSnapshot.from_dict(record.get("metrics", {})))
+
+    return TraceSummary(
+        record_count=len(records),
+        span_count=len(span_records),
+        event_count=len(event_records),
+        log_count=len(log_records),
+        span_rows=rows,
+        event_totals=event_totals,
+        metrics=merged.snapshot(),
+    )
+
+
+def summarize_file(path: Union[str, Path]) -> TraceSummary:
+    """Read and summarize a JSONL trace file."""
+    return summarize_records(read_records(path))

@@ -1,0 +1,197 @@
+"""Nested tracing spans with an injectable clock.
+
+Usage::
+
+    from repro.telemetry import span
+
+    with span("simulate", ring="STR 96C", periods=2048) as sp:
+        ...
+        sp.set("events", simulator.events_processed)
+
+When no sink is installed (the default), :func:`span` returns a shared
+no-op object without allocating anything — disabled tracing costs one
+global read.  When a sink is active, closing a span emits one ``span``
+record::
+
+    {"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+     "start_s": ..., "duration_s": ..., "status": "ok"|"error",
+     "attrs": {...}}
+
+Span identifiers embed the process id, so records captured inside pool
+workers and re-emitted by the parent never collide; a worker's root
+spans carry ``parent_id = None`` and are re-parented onto the parent's
+active span at re-emission (see :mod:`repro.parallel.executor`).
+
+Time comes from an injectable clock (default
+:func:`time.perf_counter`), so tests assert on exact durations instead
+of sleeping.  ``start_s`` values are therefore process-relative; the
+summarizer only relies on durations and the parent/child structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Any, Callable, Dict, Iterator, List, Optional, Type, Union
+
+from repro.telemetry.registry import MetricsSnapshot
+from repro.telemetry.sinks import get_sink, sink_enabled
+
+#: Returns the current time in seconds (monotonic preferred).
+Clock = Callable[[], float]
+
+_clock: Clock = time.perf_counter
+_id_counter = itertools.count(1)
+_span_stack: List[str] = []
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install the time source used by spans; returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Temporarily install a clock (tests)."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}-{next(_id_counter):x}"
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost active span's id, or ``None`` outside any span."""
+    return _span_stack[-1] if _span_stack else None
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    span_id: Optional[str] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; created via :func:`span`, emitted on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_s")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _new_span_id()
+        self.parent_id = current_span_id()
+        self.start_s = 0.0
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach or overwrite one attribute on the open span."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_s = _clock()
+        _span_stack.append(self.span_id)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        end_s = _clock()
+        if _span_stack and _span_stack[-1] == self.span_id:
+            _span_stack.pop()
+        get_sink().emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "start_s": self.start_s,
+                "duration_s": end_s - self.start_s,
+                "status": "error" if exc_type is not None else "ok",
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id})"
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """Open a nested span; a context manager.
+
+    With no active sink this returns the shared :data:`NULL_SPAN`
+    immediately — the disabled-path cost the overhead benchmark pins
+    down.
+    """
+    if not sink_enabled():
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def emit_event(name: str, **fields: Any) -> None:
+    """Emit one point-in-time ``event`` record under the active span.
+
+    Events are how discrete occurrences (supervisor alarms, failovers,
+    cache clears) land on the same timeline as the spans around them.
+    """
+    if not sink_enabled():
+        return
+    get_sink().emit(
+        {
+            "type": "event",
+            "name": name,
+            "parent_id": current_span_id(),
+            "clock_s": _clock(),
+            "fields": fields,
+        }
+    )
+
+
+def emit_metrics(snapshot: MetricsSnapshot) -> None:
+    """Emit a ``metrics`` record carrying a registry snapshot."""
+    if not sink_enabled():
+        return
+    get_sink().emit({"type": "metrics", "metrics": snapshot.to_dict()})
+
+
+def emit_raw(record: Dict[str, Any]) -> None:
+    """Re-emit an already-built record (worker-record shipping)."""
+    if not sink_enabled():
+        return
+    get_sink().emit(record)

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from repro.faults.base import NOMINAL_EFFECT, FaultEffect, FaultScenario
 from repro.fpga.board import Board
 from repro.fpga.voltage import SupplySpec
 from repro.simulation.noise import SeedLike, make_rng
+from repro.telemetry import default_registry, emit_event, span
 from repro.trng.health import HealthMonitor
 from repro.trng.phasewalk import PhaseWalkTrng, reference_period_for_q
 
@@ -93,6 +94,22 @@ class SupervisorEvent:
     state_to: str
     detail: str = ""
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SupervisorEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            kind=str(payload["kind"]),
+            time_s=float(payload["time_s"]),
+            bit_position=int(payload["bit_position"]),
+            state_from=str(payload["state_from"]),
+            state_to=str(payload["state_to"]),
+            detail=str(payload.get("detail", "")),
+        )
+
 
 class EventLog:
     """Append-only, queryable log of supervisor events."""
@@ -124,6 +141,18 @@ class EventLog:
             if event.kind == kind:
                 return event
         return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        return {"events": [event.to_dict() for event in self._events]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EventLog":
+        """Rebuild a log from :meth:`to_dict` output (order preserved)."""
+        log = cls()
+        for entry in payload.get("events", []):
+            log.append(SupervisorEvent.from_dict(entry))
+        return log
 
     def render(self) -> str:
         """Aligned plain-text table of the whole log."""
@@ -456,10 +485,16 @@ class SupervisedTrng:
             raise TotalFailureError(
                 "generator is in TOTAL_FAILURE; call reset() to service it"
             )
-        run = _SupervisedRun(self, scenario, make_rng(seed))
-        result = run.execute(bit_budget)
-        self.state = result.final_state
-        return result
+        with span(
+            "supervised_run", primary=self._primary.name, bit_budget=bit_budget
+        ) as tele:
+            run = _SupervisedRun(self, scenario, make_rng(seed))
+            result = run.execute(bit_budget)
+            self.state = result.final_state
+            tele.set("final_state", result.final_state.value)
+            tele.set("emitted_bits", result.bit_count)
+            tele.set("events", len(result.events))
+            return result
 
 
 class _SupervisedRun:
@@ -490,17 +525,24 @@ class _SupervisedRun:
         return self._scenario.effect_at(self._time_s)
 
     def _log(self, kind: str, state_to: TrngState, detail: str = "") -> None:
-        self._events.append(
-            SupervisorEvent(
-                kind=kind,
-                time_s=self._time_s,
-                bit_position=self._position,
-                state_from=self._state.value,
-                state_to=state_to.value,
-                detail=detail,
-            )
+        event = SupervisorEvent(
+            kind=kind,
+            time_s=self._time_s,
+            bit_position=self._position,
+            state_from=self._state.value,
+            state_to=state_to.value,
+            detail=detail,
         )
+        self._events.append(event)
         self._state = state_to
+        # Bridge into the telemetry layer: the structured log stays the
+        # assertable source of truth, but the same transition lands on
+        # the trace timeline (under the supervised_run span) and in the
+        # per-kind counters.
+        emit_event(f"supervisor.{kind}", **event.to_dict())
+        registry = default_registry()
+        registry.counter("repro.trng.supervisor.events").inc()
+        registry.counter(f"repro.trng.supervisor.{kind}").inc()
 
     def _sample(
         self, channels: Sequence[RingChannel]

@@ -5,6 +5,7 @@ import pytest
 from repro.fpga.board import Board, BoardBank
 from repro.fpga.calibration import CalibratedTiming, cyclone_iii_calibration
 from repro.parallel.cache import ENV_CACHE_DIR
+from repro.telemetry import MetricsRegistry, use_registry
 
 
 @pytest.fixture(autouse=True)
@@ -16,6 +17,18 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     from seeing each other's entries.
     """
     monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "repro_cache"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_metrics_registry():
+    """Give each test a fresh process-global metrics registry.
+
+    The telemetry counters (cache hits, task counts, ...) accumulate in
+    a process-global registry by design; without this, assertions on
+    session-aggregate figures would see every preceding test's traffic.
+    """
+    with use_registry(MetricsRegistry()):
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -112,7 +112,7 @@ class TestMaintenance:
         stats = cache.stats()
         assert stats.entry_count == 5
         assert stats.total_bytes > 0
-        assert "entries:      5" in stats.render()
+        assert "entries:        5" in stats.render()
 
     def test_clear_removes_everything(self, cache):
         for seed in range(5):

@@ -1,0 +1,77 @@
+"""Structured logging through the telemetry sink."""
+
+import json
+
+import pytest
+
+from repro.telemetry import MemorySink, get_logger, set_stderr_level, span, use_sink
+
+
+@pytest.fixture(autouse=True)
+def _no_stderr_mirror():
+    set_stderr_level(None)
+    yield
+    set_stderr_level(None)
+
+
+class TestSinkPath:
+    def test_disabled_by_default(self, capsys):
+        get_logger("repro.test").info("ignored", key=1)
+        assert capsys.readouterr().err == ""
+
+    def test_record_shape(self):
+        sink = MemorySink()
+        with use_sink(sink):
+            get_logger("repro.test").warning("cache_cleared", removed=3)
+        (record,) = sink.records
+        assert record == {
+            "type": "log",
+            "level": "warning",
+            "logger": "repro.test",
+            "event": "cache_cleared",
+            "parent_id": None,
+            "fields": {"removed": 3},
+        }
+
+    def test_log_links_to_enclosing_span(self):
+        sink = MemorySink()
+        with use_sink(sink):
+            with span("outer") as outer:
+                get_logger("repro.test").info("inside")
+        log_record = sink.records[0]
+        assert log_record["parent_id"] == outer.span_id
+
+    def test_loggers_are_cached_by_name(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+
+    def test_all_levels_emit(self):
+        sink = MemorySink()
+        log = get_logger("repro.test")
+        with use_sink(sink):
+            log.debug("d")
+            log.info("i")
+            log.warning("w")
+            log.error("e")
+        assert [r["level"] for r in sink.records] == [
+            "debug",
+            "info",
+            "warning",
+            "error",
+        ]
+
+
+class TestStderrMirror:
+    def test_mirrors_at_or_above_threshold(self, capsys):
+        set_stderr_level("warning")
+        log = get_logger("repro.test")
+        log.info("quiet")
+        log.error("loud", code=7)
+        err = capsys.readouterr().err
+        lines = [json.loads(line) for line in err.splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["event"] == "loud"
+        assert lines[0]["fields"] == {"code": 7}
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            set_stderr_level("chatty")

@@ -1,0 +1,134 @@
+"""Metrics registry: instruments, snapshots, merge semantics."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_EDGES_S,
+    NOOP_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.test.hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("repro.test.jobs")
+        gauge.set(4)
+        gauge.set(8)
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram("h", edges=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(55.5)
+
+    def test_default_edges_are_the_time_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.edges == DEFAULT_TIME_EDGES_S
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", edges=(1.0, 1.0))
+
+    def test_edge_mismatch_on_reuse_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+
+class TestKindCollisions:
+    def test_counter_then_gauge_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+        with pytest.raises(ValueError):
+            registry.histogram("name")
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+        return registry
+
+    def test_round_trips_through_dict(self):
+        snapshot = self._populated().snapshot()
+        rebuilt = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert rebuilt == snapshot
+
+    def test_merge_sums_counters_and_histograms(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        merged = a.merged(b)
+        assert merged.counters["c"] == 6
+        assert merged.histograms["h"]["count"] == 2
+
+    def test_merge_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        other = MetricsRegistry()
+        other.gauge("g").set(9.0)
+        assert registry.snapshot().merged(other.snapshot()).gauges["g"] == 9.0
+
+    def test_merge_histogram_edge_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", edges=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", edges=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.snapshot().merged(b.snapshot())
+
+    def test_registry_merge_feeds_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.merge(self._populated().snapshot())
+        assert registry.counter("c").value == 4
+
+
+class TestGlobals:
+    def test_use_registry_swaps_and_restores(self):
+        outer = default_registry()
+        inner = MetricsRegistry()
+        with use_registry(inner):
+            assert default_registry() is inner
+            default_registry().counter("c").inc()
+        assert default_registry() is outer
+        assert inner.counter("c").value == 1
+
+    def test_noop_registry_discards_everything(self):
+        NOOP_REGISTRY.counter("c").inc(100)
+        NOOP_REGISTRY.gauge("g").set(5)
+        NOOP_REGISTRY.histogram("h").observe(1.0)
+        snapshot = NOOP_REGISTRY.snapshot()
+        assert not snapshot.counters
+        assert not snapshot.gauges
+        assert not snapshot.histograms

@@ -1,0 +1,149 @@
+"""Trace summarizer: forest building, rollups, rendering, metrics."""
+
+import pytest
+
+from repro.telemetry import JsonlSink, MetricsRegistry, use_sink
+from repro.telemetry.summarize import (
+    build_span_forest,
+    read_records,
+    render_metrics,
+    summarize_file,
+    summarize_records,
+)
+
+
+def span_record(name, span_id, parent_id=None, start=0.0, duration=1.0, status="ok"):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_s": start,
+        "duration_s": duration,
+        "status": status,
+        "attrs": {},
+    }
+
+
+class TestReadRecords:
+    def test_reads_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"span"}\n\n{"type":"event"}\n')
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["span", "event"]
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok":1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_records(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="objects"):
+            read_records(path)
+
+
+class TestForest:
+    def test_children_attach_and_sort_by_start(self):
+        records = [
+            span_record("child-late", "c2", parent_id="p", start=5.0),
+            span_record("child-early", "c1", parent_id="p", start=1.0),
+            span_record("parent", "p", start=0.0),
+        ]
+        (root,) = build_span_forest(records)
+        assert root.name == "parent"
+        assert [child.name for child in root.children] == [
+            "child-early",
+            "child-late",
+        ]
+
+    def test_orphans_become_roots(self):
+        records = [span_record("orphan", "x", parent_id="never-closed")]
+        roots = build_span_forest(records)
+        assert [node.name for node in roots] == ["orphan"]
+
+
+class TestSummary:
+    def _trace(self):
+        return [
+            span_record("grid_point", "g1", parent_id="r", start=1.0, duration=2.0),
+            span_record(
+                "grid_point",
+                "g2",
+                parent_id="r",
+                start=2.0,
+                duration=4.0,
+                status="error",
+            ),
+            span_record("run_grid", "r", start=0.0, duration=7.0),
+            {"type": "event", "name": "supervisor.alarm", "fields": {}},
+            {"type": "event", "name": "supervisor.alarm", "fields": {}},
+            {"type": "log", "level": "info", "event": "x", "fields": {}},
+            {
+                "type": "metrics",
+                "metrics": {"counters": {"repro.parallel.tasks": 2}},
+            },
+        ]
+
+    def test_rollup_groups_siblings_by_name(self):
+        summary = summarize_records(self._trace())
+        rows = {(row.depth, row.name): row for row in summary.span_rows}
+        grid = rows[(1, "grid_point")]
+        assert grid.count == 2
+        assert grid.total_s == pytest.approx(6.0)
+        assert grid.max_s == pytest.approx(4.0)
+        assert grid.errors == 1
+        assert rows[(0, "run_grid")].count == 1
+
+    def test_counts_and_events_and_metrics(self):
+        summary = summarize_records(self._trace())
+        assert summary.record_count == 7
+        assert summary.span_count == 3
+        assert summary.event_totals == {"supervisor.alarm": 2}
+        assert summary.metrics.counters["repro.parallel.tasks"] == 2
+
+    def test_render_mentions_everything(self):
+        rendered = summarize_records(self._trace()).render()
+        assert "run_grid" in rendered
+        assert "  grid_point" in rendered  # indented child
+        assert "(1 errors)" in rendered
+        assert "supervisor.alarm  x2" in rendered
+        assert "repro.parallel.tasks" in rendered
+
+    def test_empty_trace_renders(self):
+        rendered = summarize_records([]).render()
+        assert "0 records" in rendered
+
+
+class TestRenderMetrics:
+    def test_empty_snapshot_renders_nothing(self):
+        assert render_metrics(MetricsRegistry().snapshot()) == ""
+
+    def test_histogram_line_shows_mean(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+        registry.histogram("h", edges=(1.0,)).observe(1.5)
+        rendered = render_metrics(registry.snapshot())
+        assert "n=2" in rendered
+        assert "mean=1.0000" in rendered
+
+
+class TestFileRoundTrip:
+    def test_jsonl_sink_output_summarizes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        from repro.telemetry import span
+
+        with use_sink(sink):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        sink.close()
+        summary = summarize_file(path)
+        assert summary.span_count == 2
+        assert [(row.depth, row.name) for row in summary.span_rows] == [
+            (0, "outer"),
+            (1, "inner"),
+        ]

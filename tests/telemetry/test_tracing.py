@@ -1,0 +1,111 @@
+"""Tracing spans: null fast path, nesting, clocks, events."""
+
+from repro.telemetry import (
+    NULL_SPAN,
+    MemorySink,
+    Span,
+    current_span_id,
+    emit_event,
+    emit_raw,
+    sink_enabled,
+    span,
+    use_clock,
+    use_sink,
+)
+
+
+def fake_clock(values):
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not sink_enabled()
+
+    def test_span_returns_shared_null_span(self):
+        opened = span("anything", key="value")
+        assert opened is NULL_SPAN
+        with opened as tele:
+            tele.set("ignored", 1)
+
+    def test_emit_event_is_a_no_op(self):
+        emit_event("orphan", detail=1)  # must not raise
+        emit_raw({"type": "event"})
+
+
+class TestSpanRecords:
+    def test_span_record_shape_and_duration(self):
+        sink = MemorySink()
+        with use_sink(sink), use_clock(fake_clock([10.0, 12.5])):
+            with span("simulate", ring="STR 8C") as tele:
+                tele.set("events", 42)
+        (record,) = sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "simulate"
+        assert record["start_s"] == 10.0
+        assert record["duration_s"] == 2.5
+        assert record["status"] == "ok"
+        assert record["attrs"] == {"ring": "STR 8C", "events": 42}
+        assert record["parent_id"] is None
+
+    def test_nested_spans_link_parent_ids(self):
+        sink = MemorySink()
+        with use_sink(sink):
+            with span("outer") as outer:
+                assert current_span_id() == outer.span_id
+                with span("inner"):
+                    pass
+        inner_record, outer_record = sink.records
+        assert inner_record["name"] == "inner"
+        assert inner_record["parent_id"] == outer_record["span_id"]
+        assert outer_record["parent_id"] is None
+        assert current_span_id() is None
+
+    def test_exception_marks_error_and_propagates(self):
+        sink = MemorySink()
+        try:
+            with use_sink(sink):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("span swallowed the exception")
+        (record,) = sink.records
+        assert record["status"] == "error"
+
+    def test_span_ids_are_unique(self):
+        sink = MemorySink()
+        with use_sink(sink):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        ids = {record["span_id"] for record in sink.records}
+        assert len(ids) == 2
+
+    def test_span_id_embeds_pid(self):
+        import os
+
+        with use_sink(MemorySink()):
+            opened = span("x")
+            assert isinstance(opened, Span)
+            assert opened.span_id.startswith(f"{os.getpid():x}-")
+            with opened:
+                pass
+
+
+class TestEvents:
+    def test_event_lands_under_active_span(self):
+        sink = MemorySink()
+        with use_sink(sink), use_clock(fake_clock([1.0, 1.5, 2.0])):
+            with span("outer") as outer:
+                emit_event("supervisor.alarm", tests="rct")
+        event, span_record = sink.records
+        assert event["type"] == "event"
+        assert event["name"] == "supervisor.alarm"
+        assert event["parent_id"] == outer.span_id
+        assert event["clock_s"] == 1.5
+        assert event["fields"] == {"tests": "rct"}
+        assert span_record["duration_s"] == 1.0

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -177,18 +179,70 @@ class TestCacheCommand:
         assert main(["cache", "stats"]) == 0
         stats = capsys.readouterr().out
         assert "cache root:" in stats
-        assert "entries:      0" not in stats
+        assert "entries:        0" not in stats
+        assert "session hits:" in stats
         assert main(["cache", "clear"]) == 0
         assert "removed" in capsys.readouterr().out
         assert main(["cache", "stats"]) == 0
-        assert "entries:      0" in capsys.readouterr().out
+        assert "entries:        0" in capsys.readouterr().out
 
     def test_explicit_dir(self, capsys, tmp_path):
         assert main(["cache", "stats", "--dir", str(tmp_path / "elsewhere")]) == 0
         output = capsys.readouterr().out
         assert "elsewhere" in output
-        assert "entries:      0" in output
+        assert "entries:        0" in output
 
     def test_requires_action(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_valid_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        assert main(["run", "FIG4", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in trace.read_text().splitlines() if line]
+        types = {record["type"] for record in records}
+        assert "span" in types
+        assert "metrics" in types  # final registry snapshot is appended
+        spans = [r for r in records if r["type"] == "span"]
+        experiment = next(r for r in spans if r["name"] == "experiment")
+        assert experiment["attrs"]["id"] == "FIG4"
+        assert experiment["status"] == "ok"
+
+    def test_metrics_flag_prints_totals(self, capsys):
+        assert main(["run", "FIG4", "--metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "metric totals:" in output
+        assert "repro.experiments.runs" in output
+
+    def test_campaign_trace_has_grid_spans(self, capsys, tmp_path):
+        trace = tmp_path / "campaign.jsonl"
+        assert main(
+            ["campaign", "iro:3", "--periods", "128", "--no-cache",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in trace.read_text().splitlines() if line]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"campaign", "run_grid", "grid_point"} <= names
+
+    def test_trace_summarize_renders(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        assert main(["run", "FIG4", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "records" in output
+        assert "experiment" in output
+
+    def test_trace_summarize_missing_file_fails(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 1
+        assert capsys.readouterr().err != ""
+
+    def test_trace_summarize_bad_json_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert ":1:" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Supervised TRNG runtime: state machine, recovery ladder, event log."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -284,3 +286,45 @@ class TestSupervisedTrng:
         positions = [event.bit_position for event in result.events]
         assert times == sorted(times)
         assert positions == sorted(positions)
+
+class TestEventSerialization:
+    def test_event_round_trips_through_dict(self):
+        event = SupervisorEvent(
+            kind="failover",
+            time_s=0.125,
+            bit_position=4096,
+            state_from="alarmed",
+            state_to="degraded",
+            detail="switched to STR 48C",
+        )
+        payload = event.to_dict()
+        assert json.dumps(payload)  # JSON-able as-is
+        assert SupervisorEvent.from_dict(payload) == event
+
+    def test_detail_defaults_when_absent(self):
+        payload = {
+            "kind": "alarm",
+            "time_s": 0.5,
+            "bit_position": 512,
+            "state_from": "online",
+            "state_to": "alarmed",
+        }
+        assert SupervisorEvent.from_dict(payload).detail == ""
+
+    def test_empty_log_round_trips(self):
+        log = EventLog.from_dict(EventLog().to_dict())
+        assert len(log) == 0
+        assert log.kinds() == []
+
+    def test_multi_kind_log_round_trips(self, board):
+        trng = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        )
+        result = trng.run(6144, scenario=scheduled(StuckStageFault()), seed=11)
+        original = result.events
+        assert len(set(original.kinds())) > 1  # a real multi-kind timeline
+        payload = original.to_dict()
+        rebuilt = EventLog.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.kinds() == original.kinds()
+        assert list(rebuilt) == list(original)
+        assert rebuilt.render() == original.render()
