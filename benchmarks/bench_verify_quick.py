@@ -1,0 +1,34 @@
+"""Claim-verification sweep benchmark (tracked in the CI gate).
+
+Runs a small quick-tier sweep — the cheap analytic/runtime claims over
+two derived seeds each, uncached and serial — through
+``repro.verify.run_verification``, i.e. the exact path ``repro verify``
+takes.  Tracked through ``reference_timings.json`` so a change that
+makes claim checks accidentally expensive (or breaks the sweep outright)
+trips the benchmark gate; the full 13-claim sweep stays in the
+``verify-quick`` CI job where its runtime belongs.
+"""
+
+from __future__ import annotations
+
+from repro.verify import run_verification
+
+_CLAIMS = ("C6", "EXT-FAILOVER", "EXT-FAILSAFE")
+
+
+def _small_sweep():
+    return run_verification(
+        list(_CLAIMS),
+        tier="quick",
+        seeds=2,
+        root_seed=0,
+        jobs=1,
+        cache=None,
+    )
+
+
+def bench_verify(benchmark):
+    report = benchmark.pedantic(_small_sweep, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.passed, f"verification sweep failed: {report.failing_claims}"

@@ -25,10 +25,17 @@ Commands
 ``trace``
     Summarize a JSONL trace written with ``--trace`` into a span-tree
     timing report with event and metric totals.
+``verify``
+    Run the claims-as-code registry (paper claims C1-C7, Eq. 3-5 fits,
+    EXT invariants) across a sweep of derived seeds and report each
+    claim's pass rate with a Wilson confidence interval; failures emit
+    replay bundles reproducible with ``--replay FILE``.  See
+    docs/verification.md.
 
-The ``run``, ``campaign`` and ``faults`` commands accept ``--trace
-FILE`` (record spans/events/logs to a JSONL file) and ``--metrics``
-(print the run's metric totals on exit); see docs/observability.md.
+The ``run``, ``campaign``, ``faults`` and ``verify`` commands accept
+``--trace FILE`` (record spans/events/logs to a JSONL file) and
+``--metrics`` (print the run's metric totals on exit); see
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -275,6 +282,91 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_injections(pairs: Optional[List[str]]) -> Optional[Dict[str, Any]]:
+    """``KEY=VALUE`` override pairs -> a params-override mapping.
+
+    Values parse as numbers when they look numeric, strings otherwise;
+    the canonical use is ``--inject sigma_g_scale=2.0`` (the seeded
+    regression of docs/verification.md).
+    """
+    if not pairs:
+        return None
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise argparse.ArgumentTypeError(
+                f"injection must look like KEY=VALUE, got {pair!r}"
+            )
+        try:
+            value: Any = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.verify import all_claim_ids, get_claim, replay, run_verification
+
+    if args.list:
+        for claim_id in all_claim_ids():
+            claim = get_claim(claim_id)
+            print(f"{claim_id:14} {claim.title} ({claim.paper_ref})")
+        return 0
+
+    if args.replay is not None:
+        try:
+            outcome = replay(args.replay)
+        except (FileNotFoundError, ValueError, KeyError) as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        print(f"replay {outcome.claim_id} @ seed {outcome.seed}: "
+              f"{'PASS' if outcome.passed else 'FAIL'}")
+        print(f"  {outcome.detail}")
+        return 0 if outcome.passed else 1
+
+    try:
+        overrides = _parse_injections(args.inject)
+        claim_ids = [cid.upper() for cid in args.claims] if args.claims else None
+        if claim_ids:
+            for claim_id in claim_ids:
+                get_claim(claim_id)  # fail fast on typos
+    except (argparse.ArgumentTypeError, KeyError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    progress = None
+    if not args.json and sys.stderr.isatty():
+
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} claim checks", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+
+    report = run_verification(
+        claim_ids,
+        tier=args.tier,
+        seeds=args.seeds,
+        root_seed=args.seed,
+        jobs=args.jobs,
+        cache=_cli_cache(args),
+        overrides=overrides,
+        bundle_dir=args.bundle_dir,
+        progress=progress,
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.telemetry.summarize import summarize_file
 
@@ -426,6 +518,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(faults_parser)
     faults_parser.set_defaults(handler=_command_faults)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="verify the paper's claims statistically across seeds"
+    )
+    verify_parser.add_argument(
+        "--tier",
+        choices=("quick", "full"),
+        default="quick",
+        help="simulation budget tier (default: quick)",
+    )
+    verify_parser.add_argument(
+        "--seeds", type=int, default=5, metavar="N",
+        help="derived seeds per claim (default: 5)",
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=0, help="root seed for seed derivation"
+    )
+    verify_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the claim sweep (0 = all cores)",
+    )
+    verify_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    verify_parser.add_argument(
+        "--claims",
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="verify only these claim ids (default: the full registry)",
+    )
+    verify_parser.add_argument(
+        "--bundle-dir",
+        default="verify_failures",
+        metavar="DIR",
+        help="directory for replay bundles of failing checks",
+    )
+    verify_parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run one recorded failure bundle instead of sweeping",
+    )
+    verify_parser.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override a budget parameter in every claim "
+        "(e.g. sigma_g_scale=2.0 to inject a jitter regression)",
+    )
+    verify_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON results"
+    )
+    verify_parser.add_argument(
+        "--list", action="store_true", help="list registered claims and exit"
+    )
+    _add_telemetry_flags(verify_parser)
+    verify_parser.set_defaults(handler=_command_verify)
 
     trace_parser = subparsers.add_parser(
         "trace", help="analyze a JSONL telemetry trace"

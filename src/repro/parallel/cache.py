@@ -160,7 +160,10 @@ class ResultCache:
             {
                 "kind": kind,
                 "spec": canonical(spec),
-                "seed": seed,
+                # Canonicalized too: a numpy integer seed (the natural
+                # output of SeedSequence.generate_state) must hash — and
+                # hit — identically to its plain-int value.
+                "seed": canonical(seed),
                 "version": self.version,
             },
             sort_keys=True,
@@ -198,7 +201,12 @@ class ResultCache:
         key = self.key_for(kind, spec, seed)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"kind": kind, "seed": seed, "version": self.version, "result": result}
+        payload = {
+            "kind": kind,
+            "seed": canonical(seed),
+            "version": self.version,
+            "result": result,
+        }
         handle = tempfile.NamedTemporaryFile(
             "w",
             encoding="utf-8",

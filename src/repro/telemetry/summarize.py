@@ -233,9 +233,17 @@ def summarize_records(records: List[Record]) -> TraceSummary:
         event_totals[name] = event_totals.get(name, 0) + 1
 
     merged = MetricsRegistry()
-    for record in records:
+    for index, record in enumerate(records):
         if record.get("type") == "metrics":
-            merged.merge(MetricsSnapshot.from_dict(record.get("metrics", {})))
+            try:
+                merged.merge(MetricsSnapshot.from_dict(record.get("metrics", {})))
+            except (TypeError, ValueError, KeyError, AttributeError) as error:
+                # A hand-edited or truncated trace must fail with a
+                # diagnosable error, not a traceback from deep inside
+                # the registry merge.
+                raise ValueError(
+                    f"malformed metrics record (record {index + 1}): {error!r}"
+                ) from None
 
     return TraceSummary(
         record_count=len(records),

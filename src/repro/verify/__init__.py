@@ -1,0 +1,67 @@
+"""Claims-as-code verification: the paper's results as executable checks.
+
+Public surface:
+
+* :mod:`repro.verify.criteria` — TOST / CI-overlap / one-sided bounds /
+  Wilson intervals (the statistical decisions);
+* :mod:`repro.verify.claims` — the registry of C1-C7, EQ3-EQ5 and EXT
+  claims, each with estimator + criterion + quick/full budget tiers;
+* :mod:`repro.verify.runner` — the seed-sweep flakiness runner;
+* :mod:`repro.verify.replay` — one-command failure reproduction.
+
+See ``docs/verification.md`` for the workflow.
+"""
+
+from repro.verify.claims import (
+    ClaimOutcome,
+    ClaimSpec,
+    Evidence,
+    all_claim_ids,
+    claim_board,
+    get_claim,
+    register_claim,
+)
+from repro.verify.criteria import (
+    ci_lower_bound,
+    ci_overlap,
+    ci_upper_bound,
+    mean_confidence_interval,
+    tost,
+    wilson_interval,
+)
+from repro.verify.replay import (
+    DEFAULT_BUNDLE_DIR,
+    load_replay_bundle,
+    replay,
+    write_replay_bundle,
+)
+from repro.verify.runner import (
+    ClaimSweepResult,
+    VerificationReport,
+    derive_claim_seeds,
+    run_verification,
+)
+
+__all__ = [
+    "ClaimOutcome",
+    "ClaimSpec",
+    "ClaimSweepResult",
+    "DEFAULT_BUNDLE_DIR",
+    "Evidence",
+    "VerificationReport",
+    "all_claim_ids",
+    "ci_lower_bound",
+    "ci_overlap",
+    "ci_upper_bound",
+    "claim_board",
+    "derive_claim_seeds",
+    "get_claim",
+    "load_replay_bundle",
+    "mean_confidence_interval",
+    "register_claim",
+    "replay",
+    "run_verification",
+    "tost",
+    "wilson_interval",
+    "write_replay_bundle",
+]

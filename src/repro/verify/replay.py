@@ -1,0 +1,78 @@
+"""Replay bundles: one-command reproduction of a failed claim check.
+
+A sweep failure that cannot be reproduced is a rumor.  Whenever the
+runner sees a failing (claim, seed) pair it writes a small JSON bundle
+capturing *everything* the check consumed — claim id, fully resolved
+budget parameters (including any injected overrides), and the derived
+seed — plus the observed evidence for the report.  Re-running is then:
+
+    repro verify --replay verify_failures/C2-seed123456.json
+
+which bypasses tier resolution and seed derivation entirely: the check
+runs with the recorded params at the recorded seed, byte-for-byte the
+computation that failed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.verify.claims import ClaimOutcome, get_claim
+
+#: Default directory the runner drops bundles into.
+DEFAULT_BUNDLE_DIR = "verify_failures"
+
+#: Schema marker so future formats can migrate old bundles.
+BUNDLE_FORMAT = "repro-verify-replay/1"
+
+
+def write_replay_bundle(
+    outcome: ClaimOutcome,
+    *,
+    tier: str,
+    directory: Union[str, pathlib.Path] = DEFAULT_BUNDLE_DIR,
+) -> pathlib.Path:
+    """Persist one failing outcome as a reproducible bundle."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{outcome.claim_id}-seed{outcome.seed}.json"
+    bundle: Dict[str, Any] = {
+        "format": BUNDLE_FORMAT,
+        "claim_id": outcome.claim_id,
+        "tier": tier,
+        "seed": outcome.seed,
+        "params": outcome.params,
+        "observed": outcome.observed,
+        "detail": outcome.detail,
+        "command": f"repro verify --replay {path}",
+    }
+    path.write_text(json.dumps(bundle, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_replay_bundle(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read and validate a bundle written by :func:`write_replay_bundle`."""
+    bundle_path = pathlib.Path(path)
+    try:
+        bundle = json.loads(bundle_path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(f"replay bundle not found: {bundle_path}") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"replay bundle {bundle_path} is not valid JSON: {error}") from None
+    if not isinstance(bundle, dict):
+        raise ValueError(f"replay bundle {bundle_path} must be a JSON object")
+    for field in ("claim_id", "seed", "params"):
+        if field not in bundle:
+            raise ValueError(f"replay bundle {bundle_path} is missing {field!r}")
+    if not isinstance(bundle["params"], dict):
+        raise ValueError(f"replay bundle {bundle_path} has non-object params")
+    return bundle
+
+
+def replay(path: Union[str, pathlib.Path]) -> ClaimOutcome:
+    """Re-run the exact failing computation a bundle records."""
+    bundle = load_replay_bundle(path)
+    claim = get_claim(str(bundle["claim_id"]))
+    return claim.run(seed=int(bundle["seed"]), params=bundle["params"])

@@ -105,6 +105,56 @@ class TestKeying:
         assert fingerprint((1, 2, 3)) == fingerprint((1, 2, 3))
 
 
+class TestKeyStability:
+    """Regression: key hashing must be invariant to representation.
+
+    A spec is *content*; how the caller spelled that content — dict
+    insertion order, numpy scalar vs python number, array vs list —
+    must not change the key, or caches go cold (or worse, collide)
+    across refactors.
+    """
+
+    def test_nested_dict_ordering_is_invariant(self, cache):
+        a = {"outer": {"x": 1, "y": {"p": 2.0, "q": 3}}, "z": 4}
+        b = {"z": 4, "outer": {"y": {"q": 3, "p": 2.0}, "x": 1}}
+        assert cache.key_for("k", a, 0) == cache.key_for("k", b, 0)
+
+    def test_numpy_float_equals_python_float(self, cache):
+        a = {"voltage_v": np.float64(1.2), "margin": np.float32(0.5)}
+        b = {"voltage_v": 1.2, "margin": 0.5}
+        assert cache.key_for("k", a, 0) == cache.key_for("k", b, 0)
+
+    def test_numpy_int_equals_python_int(self, cache):
+        assert cache.key_for("k", {"n": np.int64(96)}, 0) == cache.key_for(
+            "k", {"n": 96}, 0
+        )
+
+    def test_numpy_bool_equals_python_bool(self, cache):
+        assert cache.key_for("k", {"flag": np.bool_(True)}, 0) == cache.key_for(
+            "k", {"flag": True}, 0
+        )
+
+    def test_array_equals_list_equals_tuple(self, cache):
+        reference = cache.key_for("k", {"lengths": [3, 9, 25]}, 0)
+        assert cache.key_for("k", {"lengths": (3, 9, 25)}, 0) == reference
+        assert cache.key_for("k", {"lengths": np.array([3, 9, 25])}, 0) == reference
+
+    def test_numpy_seed_equals_python_seed(self, cache):
+        # SeedSequence.generate_state yields numpy uint32/uint64 — those
+        # seeds must address the same entry as their int() values.
+        assert cache.key_for("k", SPEC, np.uint32(7)) == cache.key_for("k", SPEC, 7)
+        assert cache.key_for("k", SPEC, np.int64(7)) == cache.key_for("k", SPEC, 7)
+
+    def test_numpy_seed_round_trips_through_the_cache(self, cache):
+        cache.put("k", SPEC, np.int64(11), {"value": 1})
+        assert cache.get("k", SPEC, 11) == {"value": 1}
+
+    def test_distinct_content_still_distinct(self, cache):
+        # The invariance above must never collapse genuinely different specs.
+        assert cache.key_for("k", {"n": 96}, 0) != cache.key_for("k", {"n": 95}, 0)
+        assert cache.key_for("k", {"n": 96.0}, 0) != cache.key_for("k", {"n": "96"}, 0)
+
+
 class TestMaintenance:
     def test_stats_counts_entries(self, cache):
         for seed in range(5):

@@ -1,0 +1,135 @@
+"""Property-based tests: MetricsSnapshot.merged is a monoid (almost).
+
+The executor merges pool-worker snapshots into the parent registry in
+*completion order*, which the scheduler does not fix — so the final
+metrics are only deterministic if merging is associative and (for the
+additive instruments) commutative, with the empty snapshot as identity.
+These are exactly the properties checked here.
+
+Two documented deviations from a full commutative monoid, encoded in
+the strategies rather than worked around silently:
+
+* gauges are last-write-wins, so commutativity holds only when the two
+  operands touch *disjoint* gauge names (associativity holds always:
+  "rightmost wins" is associative);
+* histogram ``sum`` is an IEEE-754 float accumulator; addition of
+  arbitrary floats is not associative, so sums are drawn as
+  integer-valued floats, where addition is exact.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import MetricsSnapshot
+
+#: One shared bucket layout — merge requires identical edges per name.
+EDGES = [0.001, 0.1, 10.0]
+
+# A name may only ever denote ONE instrument kind (the registry raises
+# otherwise), so each kind draws from its own pool — just like real
+# metric names.
+_counter_names = st.sampled_from(["c.alpha", "c.beta", "c.gamma"])
+_gauge_names = st.sampled_from(["g.alpha", "g.beta", "g.gamma"])
+_histogram_names = st.sampled_from(["h.alpha", "h.beta", "h.gamma"])
+_counters = st.dictionaries(_counter_names, st.integers(min_value=0, max_value=10**9))
+#: Integer-valued floats: exactly representable, exactly summable.
+_exact_floats = st.integers(min_value=-(10**6), max_value=10**6).map(float)
+_gauges = st.dictionaries(_gauge_names, _exact_floats)
+
+
+@st.composite
+def _histograms(draw):
+    body = {}
+    for name in draw(st.lists(_histogram_names, unique=True)):
+        counts = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10**6),
+                min_size=len(EDGES) + 1,
+                max_size=len(EDGES) + 1,
+            )
+        )
+        body[name] = {
+            "edges": list(EDGES),
+            "counts": counts,
+            "sum": draw(_exact_floats),
+            "count": sum(counts),
+        }
+    return body
+
+
+@st.composite
+def snapshots(draw, gauge_names=None):
+    gauges = (
+        draw(_gauges)
+        if gauge_names is None
+        else draw(st.dictionaries(st.sampled_from(gauge_names), _exact_floats))
+    )
+    return MetricsSnapshot(
+        counters=draw(_counters), gauges=gauges, histograms=draw(_histograms())
+    )
+
+
+class TestIdentity:
+    @given(snapshots())
+    def test_empty_is_left_identity(self, snapshot):
+        assert MetricsSnapshot().merged(snapshot) == snapshot
+
+    @given(snapshots())
+    def test_empty_is_right_identity(self, snapshot):
+        assert snapshot.merged(MetricsSnapshot()) == snapshot
+
+    def test_empty_merged_with_empty_is_empty(self):
+        assert MetricsSnapshot().merged(MetricsSnapshot()) == MetricsSnapshot()
+
+
+class TestCommutativity:
+    @given(snapshots(gauge_names=["g1", "g2"]), snapshots(gauge_names=["g3", "g4"]))
+    def test_disjoint_gauges_commute(self, a, b):
+        # Counters and histograms may share names freely — addition
+        # commutes; only gauges need disjointness.
+        assert a.merged(b) == b.merged(a)
+
+    def test_shared_gauge_does_not_commute_by_design(self):
+        # Documents (rather than hides) the last-write-wins deviation.
+        a = MetricsSnapshot(gauges={"jobs": 2.0})
+        b = MetricsSnapshot(gauges={"jobs": 8.0})
+        assert a.merged(b).gauges["jobs"] == 8.0
+        assert b.merged(a).gauges["jobs"] == 2.0
+
+
+class TestAssociativity:
+    @given(snapshots(), snapshots(), snapshots())
+    def test_merge_is_associative(self, a, b, c):
+        # Gauges included: "rightmost wins" is itself associative.
+        assert a.merged(b).merged(c) == a.merged(b.merged(c))
+
+
+class TestMergeArithmetic:
+    @given(snapshots(), snapshots())
+    def test_counters_add(self, a, b):
+        merged = a.merged(b)
+        for name in set(a.counters) | set(b.counters):
+            assert merged.counters[name] == a.counters.get(name, 0) + b.counters.get(
+                name, 0
+            )
+
+    @given(snapshots(), snapshots())
+    def test_histogram_buckets_and_totals_add(self, a, b):
+        merged = a.merged(b)
+        for name in set(a.histograms) | set(b.histograms):
+            empty = {"counts": [0] * (len(EDGES) + 1), "sum": 0.0, "count": 0}
+            left = a.histograms.get(name, empty)
+            right = b.histograms.get(name, empty)
+            body = merged.histograms[name]
+            assert body["count"] == left["count"] + right["count"]
+            assert body["sum"] == left["sum"] + right["sum"]
+            assert body["counts"] == [
+                x + y for x, y in zip(left["counts"], right["counts"])
+            ]
+
+    @given(snapshots())
+    def test_merge_round_trips_through_json_dict(self, snapshot):
+        # Snapshots travel between processes as dicts; merging must see
+        # through that encoding.
+        decoded = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert MetricsSnapshot().merged(decoded) == snapshot

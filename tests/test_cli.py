@@ -246,3 +246,161 @@ class TestTelemetryFlags:
         bad.write_text("not json\n")
         assert main(["trace", "summarize", str(bad)]) == 1
         assert ":1:" in capsys.readouterr().err
+
+
+class TestTraceSummarizeErrorPaths:
+    def test_empty_trace_is_not_an_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 0
+        assert "0 records" in capsys.readouterr().out
+
+    def test_blank_lines_only_counts_zero_records(self, capsys, tmp_path):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n  \n")
+        assert main(["trace", "summarize", str(blank)]) == 0
+        assert "0 records" in capsys.readouterr().out
+
+    def test_directory_instead_of_file_fails_gracefully(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path)]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_non_object_record_fails_with_line_number(self, capsys, tmp_path):
+        bad = tmp_path / "array.jsonl"
+        bad.write_text('{"type": "event", "name": "x"}\n[1, 2, 3]\n')
+        assert main(["trace", "summarize", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert ":2:" in err and "objects" in err
+
+    def test_corrupt_mid_file_json_reports_its_line(self, capsys, tmp_path):
+        bad = tmp_path / "truncated.jsonl"
+        bad.write_text('{"type": "event", "name": "x"}\n{"type": "span", "nam\n')
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert ":2:" in capsys.readouterr().err
+
+    def test_malformed_metrics_record_fails_gracefully(self, capsys, tmp_path):
+        bad = tmp_path / "metrics.jsonl"
+        bad.write_text('{"type": "metrics", "metrics": {"counters": [1, 2]}}\n')
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "malformed metrics record (record 1)" in capsys.readouterr().err
+
+    def test_metrics_record_with_broken_histogram_fails_gracefully(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "histo.jsonl"
+        bad.write_text(
+            '{"type": "metrics", "metrics": {"histograms": {"h": {"edges": [1.0]}}}}\n'
+        )
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "malformed metrics record" in capsys.readouterr().err
+
+
+class TestCacheCommandErrorPaths:
+    def test_stats_on_missing_dir_reports_empty(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "nowhere")]) == 0
+        assert "entries:        0" in capsys.readouterr().out
+
+    def test_stats_on_a_file_path_reports_empty(self, capsys, tmp_path):
+        file_path = tmp_path / "not_a_dir"
+        file_path.write_text("hello")
+        assert main(["cache", "stats", "--dir", str(file_path)]) == 0
+        assert "entries:        0" in capsys.readouterr().out
+
+    def test_clear_on_missing_dir_removes_nothing(self, capsys, tmp_path):
+        assert main(["cache", "clear", "--dir", str(tmp_path / "nowhere")]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_stats_ignores_foreign_files(self, capsys, tmp_path):
+        # Non-shard junk in the cache root must not crash or be counted.
+        root = tmp_path / "cache"
+        (root / "ab").mkdir(parents=True)
+        (root / "ab" / "entry.json").write_text("{}")
+        (root / "README.txt").write_text("not a shard")
+        (root / "ab" / "notes.md").write_text("not an entry")
+        assert main(["cache", "stats", "--dir", str(root)]) == 0
+        assert "entries:        1" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    # Claims whose quick-tier estimators run in well under a second.
+    CHEAP = ["C6", "EXT-FAILOVER", "EXT-FAILSAFE"]
+
+    def test_list_claims(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        output = capsys.readouterr().out
+        for claim_id in ("C1", "C7", "EQ4", "GAUSS", "EXT-FAILSAFE"):
+            assert claim_id in output
+
+    def test_cheap_claims_pass(self, capsys):
+        assert main(["verify", "--claims", *self.CHEAP, "--seeds", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "overall: PASS" in output
+        assert "Wilson" in output
+
+    def test_json_report(self, capsys):
+        assert main(
+            ["verify", "--claims", "C6", "--seeds", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["claims"][0]["claim_id"] == "C6"
+        assert payload["claims"][0]["trials"] == 2
+
+    def test_unknown_claim_fails_fast(self, capsys):
+        assert main(["verify", "--claims", "C99"]) == 1
+        assert "unknown claim" in capsys.readouterr().err
+
+    def test_bad_injection_syntax_fails_fast(self, capsys):
+        assert main(["verify", "--claims", "C6", "--inject", "nonsense"]) == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_injected_regression_fails_and_replays(self, capsys, tmp_path):
+        bundle_dir = tmp_path / "bundles"
+        assert (
+            main(
+                [
+                    "verify",
+                    "--claims",
+                    "C6",
+                    "--seeds",
+                    "1",
+                    "--inject",
+                    "sigma_g_scale=20.0",
+                    "--inject",
+                    "max_ratio=0.0001",
+                    "--bundle-dir",
+                    str(bundle_dir),
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "overall: FAIL" in output
+        bundles = sorted(bundle_dir.glob("*.json"))
+        assert len(bundles) == 1
+        capsys.readouterr()
+        assert main(["verify", "--replay", str(bundles[0])]) == 1
+        replay_out = capsys.readouterr().out
+        assert "FAIL" in replay_out and "C6" in replay_out
+
+    def test_replay_missing_bundle_fails(self, capsys, tmp_path):
+        assert main(["verify", "--replay", str(tmp_path / "absent.json")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_corrupt_bundle_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["verify", "--replay", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_trace_flag_records_claim_spans(self, capsys, tmp_path):
+        trace = tmp_path / "verify.jsonl"
+        assert main(
+            ["verify", "--claims", "C6", "--seeds", "1", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in trace.read_text().splitlines() if line]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"verify_sweep", "verify_claim"} <= names
+        metrics = next(r for r in records if r["type"] == "metrics")
+        assert metrics["metrics"]["counters"]["repro.verify.pass"] >= 1

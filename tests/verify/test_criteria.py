@@ -1,0 +1,160 @@
+"""Statistical criteria: decisions, degenerate inputs, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.verify.criteria import (
+    ci_lower_bound,
+    ci_overlap,
+    ci_upper_bound,
+    mean_confidence_interval,
+    tost,
+    wilson_interval,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_brackets_the_true_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5.0, 1.0, size=200)
+        mean, low, high = mean_confidence_interval(samples)
+        assert low < 5.0 < high
+        assert low < mean < high
+
+    def test_single_sample_collapses_to_point(self):
+        assert mean_confidence_interval([3.5]) == (3.5, 3.5, 3.5)
+
+    def test_zero_variance_collapses_to_point(self):
+        assert mean_confidence_interval([2.0, 2.0, 2.0]) == (2.0, 2.0, 2.0)
+
+    def test_narrows_with_sample_count(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 1.0, size=400)
+        _, low_small, high_small = mean_confidence_interval(samples[:20])
+        _, low_large, high_large = mean_confidence_interval(samples)
+        assert high_large - low_large < high_small - low_small
+
+    def test_rejects_empty_and_bad_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestTost:
+    def test_tight_sample_at_target_is_equivalent(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(2.0, 0.05, size=30)
+        result = tost(samples, target=2.0, margin=0.2)
+        assert result.passed
+        assert result.p_lower < 0.05 and result.p_upper < 0.05
+
+    def test_shifted_sample_is_not_equivalent(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(3.0, 0.05, size=30)
+        result = tost(samples, target=2.0, margin=0.2)
+        assert not result.passed
+
+    def test_wide_scatter_blocks_equivalence_even_on_target(self):
+        # The whole point of TOST: an uninformative sample can't prove
+        # equivalence no matter where its mean lands.
+        rng = np.random.default_rng(4)
+        samples = rng.normal(2.0, 5.0, size=5)
+        assert not tost(samples, target=2.0, margin=0.2).passed
+
+    def test_degenerate_zero_variance_point_decision(self):
+        assert tost([2.1, 2.1], target=2.0, margin=0.2).passed
+        assert not tost([2.5, 2.5], target=2.0, margin=0.2).passed
+
+    def test_describe_mentions_verdict(self):
+        assert "equivalent" in tost([2.0, 2.0], target=2.0, margin=0.1).describe()
+
+    def test_rejects_bad_margin_and_alpha(self):
+        with pytest.raises(ValueError):
+            tost([1.0, 2.0], target=1.5, margin=0.0)
+        with pytest.raises(ValueError):
+            tost([1.0, 2.0], target=1.5, margin=0.5, alpha=0.9)
+
+
+class TestCiOverlap:
+    def test_overlapping_band_passes(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(3.0, 0.2, size=20)
+        result = ci_overlap(samples, 2.0, 4.0)
+        assert result.passed
+
+    def test_disjoint_band_fails(self):
+        rng = np.random.default_rng(6)
+        samples = rng.normal(10.0, 0.2, size=20)
+        assert not ci_overlap(samples, 2.0, 4.0).passed
+
+    def test_partial_overlap_counts(self):
+        # CI straddling the band edge still overlaps.
+        result = ci_overlap([3.9, 4.1, 4.0, 4.2], 2.0, 4.0)
+        assert result.passed
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            ci_overlap([1.0], 4.0, 2.0)
+
+
+class TestOneSidedBounds:
+    def test_upper_bound_holds_for_small_sample_means(self):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(0.5, 0.05, size=25)
+        result = ci_upper_bound(samples, 0.85)
+        assert result.passed
+        assert result.confidence_limit > result.mean  # one-sided widening
+
+    def test_upper_bound_fails_near_the_bound_with_scatter(self):
+        samples = [0.7, 0.95, 1.1, 0.6, 0.9]  # mean 0.85, wide scatter
+        assert not ci_upper_bound(samples, 0.85).passed
+
+    def test_lower_bound_mirrors_upper(self):
+        rng = np.random.default_rng(9)
+        samples = rng.normal(5.0, 0.1, size=25)
+        assert ci_lower_bound(samples, 4.0).passed
+        assert not ci_lower_bound(samples, 6.0).passed
+
+    def test_single_sample_degrades_to_point_comparison(self):
+        assert ci_upper_bound([0.5], 0.85).passed
+        assert not ci_upper_bound([0.9], 0.85).passed
+
+
+class TestWilsonInterval:
+    def test_contains_the_observed_proportion(self):
+        low, high = wilson_interval(7, 10)
+        assert low < 0.7 < high
+
+    def test_all_passes_keeps_an_honest_upper_tail(self):
+        low, high = wilson_interval(10, 10)
+        assert high == pytest.approx(1.0)
+        assert 0.6 < low < 1.0  # 10/10 does not prove certainty
+
+    def test_all_failures_symmetric(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        assert 0.0 < high < 0.4
+
+    def test_narrows_with_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_large, high_large = wilson_interval(500, 1000)
+        assert high_large - low_large < high_small - low_small
+
+    def test_stays_in_unit_interval(self):
+        for successes, trials in [(0, 1), (1, 1), (1, 2), (99, 100)]:
+            low, high = wilson_interval(successes, trials)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_matches_normal_approximation_for_large_n(self):
+        low, high = wilson_interval(500, 1000)
+        approx_half = 1.959964 * math.sqrt(0.25 / 1000)
+        assert abs((high - low) / 2 - approx_half) < 1e-3

@@ -1,0 +1,89 @@
+"""Replay bundles: write, validate, re-run."""
+
+import json
+
+import pytest
+
+from repro.verify.claims import ClaimOutcome
+from repro.verify.replay import (
+    BUNDLE_FORMAT,
+    load_replay_bundle,
+    replay,
+    write_replay_bundle,
+)
+
+
+def _failing_outcome(claim_id="C6", seed=42):
+    return ClaimOutcome(
+        claim_id=claim_id,
+        passed=False,
+        criterion="test",
+        seed=seed,
+        params={"repeats": 2, "boards": 8, "max_ratio": 0.45, "min_frequency_mhz": 300.0},
+        observed={"dispersion_ratios": [0.9]},
+        detail="synthetic failure",
+    )
+
+
+class TestBundleIo:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = write_replay_bundle(_failing_outcome(), tier="quick", directory=tmp_path)
+        assert path.name == "C6-seed42.json"
+        bundle = load_replay_bundle(path)
+        assert bundle["format"] == BUNDLE_FORMAT
+        assert bundle["claim_id"] == "C6"
+        assert bundle["seed"] == 42
+        assert bundle["params"]["boards"] == 8
+        assert str(path) in bundle["command"]
+
+    def test_bundle_is_sorted_stable_json(self, tmp_path):
+        path = write_replay_bundle(_failing_outcome(), tier="quick", directory=tmp_path)
+        text = path.read_text()
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="replay bundle not found"):
+            load_replay_bundle(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_replay_bundle(bad)
+
+    def test_non_object_bundle(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_replay_bundle(bad)
+
+    def test_missing_fields(self, tmp_path):
+        bad = tmp_path / "partial.json"
+        bad.write_text(json.dumps({"claim_id": "C6", "seed": 1}))
+        with pytest.raises(ValueError, match="params"):
+            load_replay_bundle(bad)
+
+    def test_non_object_params(self, tmp_path):
+        bad = tmp_path / "params.json"
+        bad.write_text(json.dumps({"claim_id": "C6", "seed": 1, "params": [1]}))
+        with pytest.raises(ValueError, match="non-object params"):
+            load_replay_bundle(bad)
+
+
+class TestReplayExecution:
+    def test_replay_runs_the_recorded_params(self, tmp_path):
+        # The recorded params (tiny 8-board bank, 2 repeats) differ from
+        # every registered tier, so success proves the bundle's params —
+        # not a tier lookup — drove the computation.
+        path = write_replay_bundle(_failing_outcome(seed=3), tier="quick", directory=tmp_path)
+        outcome = replay(path)
+        assert outcome.seed == 3
+        assert outcome.params["boards"] == 8
+        assert len(outcome.observed["dispersion_ratios"]) == 2
+
+    def test_replay_unknown_claim(self, tmp_path):
+        path = write_replay_bundle(
+            _failing_outcome(claim_id="NOPE"), tier="quick", directory=tmp_path
+        )
+        with pytest.raises(KeyError):
+            replay(path)

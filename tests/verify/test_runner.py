@@ -1,0 +1,170 @@
+"""The seed-sweep flakiness runner: derivation, reports, caching, injection."""
+
+import json
+
+import pytest
+
+from repro.parallel import ResultCache
+from repro.verify import derive_claim_seeds, run_verification
+from repro.verify.claims import ClaimOutcome
+from repro.verify.runner import ClaimSweepResult, VerificationReport
+
+# Claims whose quick-tier estimators are cheap enough for unit tests.
+CHEAP = ["C6", "EXT-FAILOVER", "EXT-FAILSAFE"]
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_claim_seeds(0, "C2", 5) == derive_claim_seeds(0, "C2", 5)
+
+    def test_claims_get_independent_streams(self):
+        assert derive_claim_seeds(0, "C2", 5) != derive_claim_seeds(0, "C3", 5)
+
+    def test_root_seed_moves_the_stream(self):
+        assert derive_claim_seeds(0, "C2", 5) != derive_claim_seeds(1, "C2", 5)
+
+    def test_prefix_stability(self):
+        # Raising --seeds extends the sweep without re-running old seeds.
+        assert derive_claim_seeds(0, "C2", 8)[:5] == derive_claim_seeds(0, "C2", 5)
+
+    def test_case_insensitive_claim_id(self):
+        assert derive_claim_seeds(0, "c2", 3) == derive_claim_seeds(0, "C2", 3)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            derive_claim_seeds(0, "C2", 0)
+
+
+class TestSweep:
+    def test_cheap_claims_pass_across_seeds(self):
+        report = run_verification(CHEAP, tier="quick", seeds=3, jobs=1)
+        assert report.passed
+        assert [s.claim_id for s in report.sweeps] == CHEAP
+        for sweep in report.sweeps:
+            assert sweep.pass_count == sweep.trials == 3
+            low, high = sweep.wilson
+            assert 0.0 < low < 1.0 and high == 1.0
+
+    def test_selection_does_not_shift_seeds(self):
+        solo = run_verification(["C6"], tier="quick", seeds=2, jobs=1)
+        grouped = run_verification(CHEAP, tier="quick", seeds=2, jobs=1)
+        assert [o.seed for o in solo.sweeps[0].outcomes] == [
+            o.seed for o in grouped.sweeps[0].outcomes
+        ]
+
+    def test_report_dict_and_render(self):
+        report = run_verification(["C6"], tier="quick", seeds=2, jobs=1)
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["claims"][0]["claim_id"] == "C6"
+        assert 0.0 < payload["claims"][0]["wilson_low"] < 1.0
+        text = report.render()
+        assert "C6" in text and "Wilson" in text and "overall: PASS" in text
+        json.dumps(payload)  # machine-readable end to end
+
+    def test_results_are_cached(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        first = run_verification(["C6"], tier="quick", seeds=2, jobs=1, cache=cache)
+        assert cache.stats().entry_count == 2
+        second = run_verification(["C6"], tier="quick", seeds=2, jobs=1, cache=cache)
+        assert [o.to_dict() for o in first.sweeps[0].outcomes] == [
+            o.to_dict() for o in second.sweeps[0].outcomes
+        ]
+        assert cache.stats().hits >= 2
+
+    def test_injected_params_get_their_own_cache_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        run_verification(["C6"], tier="quick", seeds=1, jobs=1, cache=cache)
+        run_verification(
+            ["C6"],
+            tier="quick",
+            seeds=1,
+            jobs=1,
+            cache=cache,
+            overrides={"sigma_g_scale": 2.0},
+        )
+        assert cache.stats().entry_count == 2  # no collision clean vs injected
+
+
+class TestInjectedRegression:
+    """Acceptance: a seeded 2x sigma_g regression must be caught."""
+
+    def test_sigma_scale_injection_fails_c2_with_bundles(self, tmp_path):
+        bundle_dir = tmp_path / "bundles"
+        report = run_verification(
+            ["C2"],
+            tier="quick",
+            seeds=2,
+            jobs=1,
+            overrides={"sigma_g_scale": 2.0},
+            bundle_dir=bundle_dir,
+        )
+        assert not report.passed
+        assert report.failing_claims == ["C2"]
+        sweep = report.sweeps[0]
+        assert sweep.pass_count == 0
+        # Doubled sigma_g doubles every implied per-stage estimate.
+        for outcome in sweep.outcomes:
+            assert outcome.observed["mean_sigma_g_ps"] == pytest.approx(4.0, abs=0.5)
+        assert len(report.bundle_paths) == 2
+        for path in report.bundle_paths:
+            bundle = json.loads(open(path).read())
+            assert bundle["claim_id"] == "C2"
+            assert bundle["params"]["sigma_g_scale"] == 2.0
+            assert "repro verify --replay" in bundle["command"]
+
+    def test_replay_reproduces_the_recorded_failure(self, tmp_path):
+        from repro.verify import replay
+
+        report = run_verification(
+            ["C2"],
+            tier="quick",
+            seeds=1,
+            jobs=1,
+            overrides={"sigma_g_scale": 2.0},
+            bundle_dir=tmp_path,
+        )
+        (bundle_path,) = report.bundle_paths
+        outcome = replay(bundle_path)
+        recorded = report.sweeps[0].outcomes[0]
+        assert not outcome.passed
+        assert outcome.seed == recorded.seed
+        assert outcome.detail == recorded.detail  # byte-identical reproduction
+
+
+class TestPartialFailureAccounting:
+    def test_pass_rate_floor_logic(self):
+        outcomes = [
+            ClaimOutcome("X", passed, "c", seed, {}, {}, "")
+            for seed, passed in enumerate([True, True, True, True, False])
+        ]
+        sweep = ClaimSweepResult(
+            claim_id="X",
+            title="t",
+            criterion="c",
+            min_pass_rate=0.8,
+            outcomes=outcomes,
+        )
+        assert sweep.pass_rate == 0.8
+        assert sweep.passed  # floor met
+        assert len(sweep.failures) == 1
+        strict = ClaimSweepResult(
+            claim_id="X", title="t", criterion="c", min_pass_rate=1.0, outcomes=outcomes
+        )
+        assert not strict.passed
+
+    def test_report_names_failing_claims(self):
+        failing = ClaimSweepResult(
+            claim_id="X",
+            title="t",
+            criterion="c",
+            min_pass_rate=1.0,
+            outcomes=[ClaimOutcome("X", False, "c", 0, {}, {}, "boom")],
+        )
+        report = VerificationReport(
+            tier="quick", root_seed=0, seeds_per_claim=1, sweeps=[failing], bundle_paths=[]
+        )
+        assert not report.passed
+        assert report.failing_claims == ["X"]
+        rendered = report.render()
+        assert "overall: FAIL" in rendered and "boom" in rendered
