@@ -22,6 +22,18 @@ Commands
     ``--matrix``, which honours ``--jobs``/``--no-cache``).
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
+``serve``
+    Run the entropy-as-a-service daemon: a fault-tolerant pool of
+    supervised ring channels streaming health-gated bytes to concurrent
+    clients; SIGTERM drains gracefully.  ``--fault`` injects a scenario
+    at startup, ``--ready-file`` publishes the bound port for scripts.
+``serve-load``
+    Drive concurrent load against a running ``serve`` daemon and report
+    latency percentiles, throughput and frame-integrity violations.
+``serve-chaos``
+    Run the full in-process chaos drill (brownout + glitch storm under
+    8 concurrent clients) and verdict the serving SLO; see
+    docs/serving.md.
 ``trace``
     Summarize a JSONL trace written with ``--trace`` into a span-tree
     timing report with event and metric totals.
@@ -392,6 +404,110 @@ def _command_calibration(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_scenario(args: argparse.Namespace):
+    """The fault scenario requested by ``--fault`` (None = run clean)."""
+    from repro.faults import FaultSchedule, ScheduledFault, demo_schedule, standard_fault
+    from repro.serve.chaos import default_chaos_scenario
+
+    if args.fault == "none":
+        return None
+    if args.fault == "chaos":
+        return default_chaos_scenario(glitch_start_s=args.onset + 0.5)
+    if args.fault == "demo":
+        return demo_schedule(args.severity, onset_s=args.onset)
+    return FaultSchedule(
+        [ScheduledFault(standard_fault(args.fault, args.severity), start_s=args.onset)],
+        name=f"{args.fault}@{args.severity:g}",
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.serve import EntropyServer, PoolConfig, ServerConfig, TrngPool
+    from repro.serve.chaos import DEFAULT_POOL_SPECS
+
+    specs = args.channels or list(DEFAULT_POOL_SPECS)
+    pool = TrngPool(
+        specs, config=PoolConfig(min_healthy=args.min_healthy), seed=args.seed
+    )
+    scenario = _serve_scenario(args)
+    server = EntropyServer(pool, ServerConfig(host=args.host, port=args.port))
+
+    async def _serve() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        if scenario is not None:
+            pool.inject(scenario)
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                json.dumps({"host": args.host, "port": server.port})
+            )
+        print(
+            f"serving {len(pool.channels)} channels on {args.host}:{server.port} "
+            f"(SIGTERM to drain)",
+            flush=True,
+        )
+        await server.wait_closed()
+
+    asyncio.run(_serve())
+    summary = server.summary()
+    unhealthy = pool.unhealthy_emitted_blocks()
+    print()
+    print(pool.events.render())
+    print()
+    print(f"requests ok:       {summary['requests_ok']}")
+    print(f"requests error:    {summary['requests_error']}")
+    print(f"requests shed:     {summary['requests_shed']}")
+    print(f"bytes served:      {summary['bytes_served']}")
+    print(f"unhealthy emitted: {unhealthy} block(s)")
+    if unhealthy:
+        print("FAIL: unhealthy bytes were emitted", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_serve_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.loadgen import format_errors, run_load
+
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            request_bytes=args.bytes,
+            deadline_ms=args.deadline_ms,
+        )
+    )
+    print(report.render())
+    problems = format_errors(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _command_serve_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.chaos import run_chaos
+
+    report = asyncio.run(
+        run_chaos(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            request_bytes=args.bytes,
+            seed=args.seed,
+        )
+    )
+    print(report.render())
+    return 0 if report.slo_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -478,6 +594,99 @@ def build_parser() -> argparse.ArgumentParser:
         "calibration", help="print the fitted device constants"
     )
     calibration_parser.set_defaults(handler=_command_calibration)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the entropy-as-a-service daemon"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="FILE",
+        help="write a JSON {host, port} file once the server is listening",
+    )
+    serve_parser.add_argument(
+        "--channels",
+        nargs="*",
+        type=_parse_ring_spec,
+        default=None,
+        metavar="SPEC",
+        help="pool channel specs as kind:stages[:tokens] "
+        "(default: 3 IRO + 2 STR reference pool)",
+    )
+    serve_parser.add_argument(
+        "--min-healthy",
+        type=int,
+        default=2,
+        help="healthy-channel floor below which the pool browns out",
+    )
+    serve_parser.add_argument(
+        "--fault",
+        choices=(
+            "none",
+            "chaos",
+            "demo",
+            "stuck",
+            "brownout",
+            "ripple",
+            "temperature",
+            "glitch",
+        ),
+        default="none",
+        help="fault scenario to inject at startup (default: none)",
+    )
+    serve_parser.add_argument(
+        "--severity", type=float, default=1.0, help="fault severity in [0, 1]"
+    )
+    serve_parser.add_argument(
+        "--onset", type=float, default=0.25, help="fault onset on the pool clock [s]"
+    )
+    serve_parser.add_argument("--seed", type=int, default=7)
+    _add_telemetry_flags(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve)
+
+    serve_load_parser = subparsers.add_parser(
+        "serve-load", help="drive load against a running entropy server"
+    )
+    serve_load_parser.add_argument("--host", default="127.0.0.1")
+    serve_load_parser.add_argument("--port", type=int, required=True)
+    serve_load_parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent connections"
+    )
+    serve_load_parser.add_argument(
+        "--requests", type=int, default=16, help="sequential requests per client"
+    )
+    serve_load_parser.add_argument(
+        "--bytes", type=int, default=1024, help="bytes per request"
+    )
+    serve_load_parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=0,
+        help="server-side deadline per request (0 = server default)",
+    )
+    _add_telemetry_flags(serve_load_parser)
+    serve_load_parser.set_defaults(handler=_command_serve_load)
+
+    serve_chaos_parser = subparsers.add_parser(
+        "serve-chaos",
+        help="run the in-process chaos drill and check the serving SLO",
+    )
+    serve_chaos_parser.add_argument(
+        "--clients", type=int, default=8, help="storm-phase concurrent clients"
+    )
+    serve_chaos_parser.add_argument(
+        "--requests", type=int, default=6, help="requests per storm client"
+    )
+    serve_chaos_parser.add_argument(
+        "--bytes", type=int, default=1024, help="bytes per request"
+    )
+    serve_chaos_parser.add_argument("--seed", type=int, default=1234)
+    _add_telemetry_flags(serve_chaos_parser)
+    serve_chaos_parser.set_defaults(handler=_command_serve_chaos)
 
     faults_parser = subparsers.add_parser(
         "faults", help="run a fault scenario against the supervised runtime"

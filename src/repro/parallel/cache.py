@@ -188,7 +188,7 @@ class ResultCache:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             result = payload["result"]
-        except (OSError, ValueError, KeyError):
+        except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             default_registry().counter("repro.parallel.cache.misses").inc()
             return MISSING
@@ -197,35 +197,70 @@ class ResultCache:
         return result
 
     def put(self, kind: str, spec: Dict[str, Any], seed: Optional[int], result: Any) -> None:
-        """Store a JSON-serializable result (atomic rename write)."""
+        """Store a JSON-serializable result (atomic rename write).
+
+        Safe under concurrent multi-process writers: each writer lands
+        its own temporary file and publishes it with ``os.replace``, so
+        readers only ever see a complete entry (last writer wins — all
+        writers of one key hold the same content by construction).  A
+        writer that loses a race against a concurrent ``clear()`` (the
+        shard directory vanishes between ``mkdir`` and the rename)
+        recreates the shard and retries once; a destination pinned open
+        by another process (non-POSIX rename semantics) counts as
+        already written.
+        """
         key = self.key_for(kind, spec, seed)
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "kind": kind,
             "seed": canonical(seed),
             "version": self.version,
             "result": result,
         }
-        handle = tempfile.NamedTemporaryFile(
-            "w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=f".{key[:8]}.",
-            suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                json.dump(payload, handle)
-            os.replace(handle.name, path)
-            default_registry().counter("repro.parallel.cache.writes").inc()
-        except BaseException:
+        document = json.dumps(payload)
+        for final_attempt in (False, True):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(handle.name)
+                handle = tempfile.NamedTemporaryFile(
+                    "w",
+                    encoding="utf-8",
+                    dir=path.parent,
+                    prefix=f".{key[:8]}.",
+                    suffix=".tmp",
+                    delete=False,
+                )
             except OSError:
-                pass
-            raise
+                if final_attempt:
+                    raise
+                continue  # shard swept by a concurrent clear(); recreate
+            try:
+                with handle:
+                    handle.write(document)
+                os.replace(handle.name, path)
+            except FileNotFoundError:
+                # A concurrent clear() removed the shard (and with it our
+                # temporary file) after the write; re-create and retry.
+                self._discard_tmp(handle.name)
+                if final_attempt:
+                    raise
+                continue
+            except PermissionError:
+                # Windows-style rename-over-open: a concurrent reader or
+                # writer holds the destination.  Their entry has the same
+                # content-addressed payload, so the write has happened.
+                self._discard_tmp(handle.name)
+            except BaseException:
+                self._discard_tmp(handle.name)
+                raise
+            default_registry().counter("repro.parallel.cache.writes").inc()
+            return
+
+    @staticmethod
+    def _discard_tmp(name: str) -> None:
+        try:
+            os.unlink(name)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # maintenance
@@ -261,7 +296,12 @@ class ResultCache:
         )
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps orphaned ``*.tmp`` files left behind by writers that
+        crashed before their atomic rename (they never count as entries,
+        but they do cost disk).
+        """
         removed = 0
         for path in list(self._entry_paths()):
             try:
@@ -271,11 +311,17 @@ class ResultCache:
                 pass
         if self.root.is_dir():
             for shard in list(self.root.iterdir()):
-                if shard.is_dir():
+                if not shard.is_dir():
+                    continue
+                for stale in list(shard.glob("*.tmp")):
                     try:
-                        shard.rmdir()
+                        stale.unlink()
                     except OSError:
                         pass
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
         return removed
 
     def __repr__(self) -> str:

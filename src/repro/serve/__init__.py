@@ -1,0 +1,104 @@
+"""Entropy-as-a-service runtime: fault-tolerant async TRNG pool server.
+
+The rest of the library proves that the paper's ring TRNGs *can* be
+healthy; this package keeps them healthy **in production**: an asyncio
+daemon (``repro serve``) owns a pool of supervised ring channels and
+streams health-gated random bytes to concurrent clients over a
+length-prefixed framed protocol.
+
+* :mod:`repro.serve.protocol` — the wire format: framed messages with
+  per-connection sequence numbers (loss/duplication detection), typed
+  error frames, and a binary request payload;
+* :mod:`repro.serve.pool` — the robustness core: round-robin over
+  health-gated :class:`~repro.trng.supervisor.RingChannel`\\ s, alarm →
+  quarantine → probed re-admission with exponential backoff + jitter,
+  and a circuit breaker that retires a flapping channel for good;
+* :mod:`repro.serve.server` — per-client backpressure (bounded request
+  queues, slow-reader shedding), request deadlines, global brownout
+  mode (smaller grants — never unhealthy bytes), graceful SIGTERM
+  drain;
+* :mod:`repro.serve.client` — the asyncio client with frame-integrity
+  verification;
+* :mod:`repro.serve.loadgen` — the ``repro serve-load`` load generator
+  with p50/p99 latency reporting;
+* :mod:`repro.serve.chaos` — the fault-injection harness driving
+  :mod:`repro.faults` scenarios against a live pool to prove the SLO
+  (``repro serve-chaos``).
+
+Protocol spec, failure-mode table, SLO definitions and the runbook live
+in ``docs/serving.md``.
+"""
+
+from repro.serve.chaos import ChaosReport, default_chaos_scenario, run_chaos
+from repro.serve.client import EntropyClient, FetchResult, IntegrityError, ServerError
+from repro.serve.loadgen import LoadReport, percentile, run_load
+from repro.serve.pool import (
+    ChannelState,
+    LedgerEntry,
+    PoolChannel,
+    PoolConfig,
+    PoolExhaustedError,
+    TrngPool,
+)
+from repro.serve.protocol import (
+    FLAG_DEGRADED,
+    FLAG_FINAL,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Frame,
+    FrameStream,
+    FrameTooLargeError,
+    FrameType,
+    ProtocolError,
+    SequenceError,
+    decode_error,
+    decode_json,
+    decode_request,
+    encode_error,
+    encode_frame,
+    encode_json,
+    encode_request,
+    read_frame,
+)
+from repro.serve.server import EntropyServer, ServerConfig
+
+__all__ = [
+    "FLAG_DEGRADED",
+    "FLAG_FINAL",
+    "MAX_PAYLOAD",
+    "PROTOCOL_VERSION",
+    "ChannelState",
+    "ChaosReport",
+    "EntropyClient",
+    "EntropyServer",
+    "ErrorCode",
+    "FetchResult",
+    "Frame",
+    "FrameStream",
+    "FrameTooLargeError",
+    "FrameType",
+    "IntegrityError",
+    "LedgerEntry",
+    "LoadReport",
+    "PoolChannel",
+    "PoolConfig",
+    "PoolExhaustedError",
+    "ProtocolError",
+    "SequenceError",
+    "ServerConfig",
+    "ServerError",
+    "TrngPool",
+    "decode_error",
+    "decode_json",
+    "decode_request",
+    "default_chaos_scenario",
+    "encode_error",
+    "encode_frame",
+    "encode_json",
+    "encode_request",
+    "percentile",
+    "read_frame",
+    "run_chaos",
+    "run_load",
+]

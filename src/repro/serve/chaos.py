@@ -1,0 +1,229 @@
+"""Chaos harness: fault-injected load against a live entropy server.
+
+``repro serve-chaos`` (and the tier-1 SLO test in
+``tests/serve/test_chaos_slo.py``) runs this end-to-end drill entirely
+in-process:
+
+1. build the reference pool — three IRO channels and two STR channels —
+   and an :class:`~repro.serve.server.EntropyServer` on an ephemeral
+   port;
+2. warm up with clean traffic;
+3. inject the default chaos scenario: a **persistent brownout** at a
+   severity that injection-locks the high-supply-weight IRO channels
+   (the paper's C4/C5 asymmetry — the STRs ride it out) plus a
+   **windowed shared-net glitch burst** that also alarms the STRs while
+   it lasts, forcing quarantine/re-admission flaps on the survivors;
+4. drive 8 concurrent load-generator clients through the storm;
+5. SIGTERM-style drain and collect the verdict.
+
+The SLO (``docs/serving.md``) asserted by :class:`ChaosReport.slo_ok`:
+
+* **zero unhealthy bytes** — no emitted ledger block carries an alarm;
+* **≥ 2 channels drained** — the storm really did cost capacity;
+* **zero integrity violations** — no lost/duplicated/short frames;
+* **p99 latency of successful requests under the documented bound**;
+* **clean drain** — the server shut down inside its drain budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import RingSpec
+from repro.faults.base import FaultSchedule, ScheduledFault
+from repro.faults.library import GlitchBurstFault, VoltageBrownoutFault
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.pool import PoolConfig, TrngPool
+from repro.serve.server import EntropyServer, ServerConfig
+from repro.telemetry import get_logger
+
+_LOGGER = get_logger("repro.serve.chaos")
+
+#: Documented p99 latency bound for successful requests under chaos.
+DEFAULT_P99_BOUND_S = 2.0
+
+#: The reference chaos pool: three brownout-vulnerable IROs in front of
+#: two brownout-tolerant STRs (the paper's recommended fallback).
+DEFAULT_POOL_SPECS: Tuple[RingSpec, ...] = (
+    RingSpec("iro", 5),
+    RingSpec("iro", 7),
+    RingSpec("iro", 9),
+    RingSpec("str", 48),
+    RingSpec("str", 96),
+)
+
+
+def default_chaos_scenario(
+    brownout_severity: float = 0.95,
+    glitch_severity: float = 0.9,
+    glitch_start_s: float = 0.5,
+    glitch_stop_s: float = 2.5,
+) -> FaultSchedule:
+    """The standard storm: persistent brownout + windowed shared glitch.
+
+    The brownout never lifts — at severity 0.95 every IRO channel's
+    ``mean_supply_weight`` (≈ 0.97) crosses the injection-lock threshold
+    while the STRs (≈ 0.78) stay below it, so the IROs freeze for the
+    whole run and only the STRs can be re-admitted.  The glitch burst is
+    a shared-net fault (``local=False``): during its window it forces
+    sampled bits toward zero on *every* channel, alarming the STRs too
+    and exercising quarantine → backoff → probed re-admission on the
+    survivors.  Times are on the **pool clock** relative to injection.
+    """
+    brownout = VoltageBrownoutFault(brownout_severity)
+    glitch = GlitchBurstFault(
+        glitch_severity, burst_period_s=0.5, burst_duty=0.6, local=False
+    )
+    return FaultSchedule(
+        [
+            ScheduledFault(brownout, start_s=0.0, stop_s=None),
+            ScheduledFault(glitch, start_s=glitch_start_s, stop_s=glitch_stop_s),
+        ],
+        name="serve_chaos",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosReport:
+    """Verdict of one chaos run (see module docstring for the SLO)."""
+
+    warmup: LoadReport
+    storm: LoadReport
+    drained_channels: Tuple[str, ...]  #: channels quarantined/tripped at least once
+    unhealthy_emitted_blocks: int
+    pool_events: Dict[str, int]  #: event kind -> count
+    p99_bound_s: float
+    drained_cleanly: bool
+    min_drained: int = 2
+
+    @property
+    def failures(self) -> Tuple[str, ...]:
+        """Human-readable SLO breaches (empty tuple = SLO met)."""
+        problems: List[str] = []
+        if self.unhealthy_emitted_blocks:
+            problems.append(
+                f"{self.unhealthy_emitted_blocks} emitted block(s) carried alarms"
+            )
+        if len(self.drained_channels) < self.min_drained:
+            problems.append(
+                f"only {len(self.drained_channels)} channel(s) drained, "
+                f"need >= {self.min_drained} for a meaningful storm"
+            )
+        violations = self.warmup.integrity_violations + self.storm.integrity_violations
+        if violations:
+            problems.append(f"{violations} frame integrity violation(s)")
+        failures = self.warmup.client_failures + self.storm.client_failures
+        if failures:
+            problems.append(f"{failures} client connection failure(s)")
+        if self.storm.requests_ok == 0:
+            problems.append("no request succeeded during the storm")
+        if self.storm.p99_latency_s > self.p99_bound_s:
+            problems.append(
+                f"storm p99 {self.storm.p99_latency_s:.3f}s exceeds the "
+                f"{self.p99_bound_s:g}s bound"
+            )
+        if not self.drained_cleanly:
+            problems.append("server failed to drain inside its budget")
+        return tuple(problems)
+
+    @property
+    def slo_ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            "chaos SLO: " + ("PASS" if self.slo_ok else "FAIL"),
+            f"drained channels:     {', '.join(self.drained_channels) or '(none)'}",
+            f"unhealthy emitted:    {self.unhealthy_emitted_blocks} block(s)",
+            f"clean drain:          {'yes' if self.drained_cleanly else 'NO'}",
+            "",
+            "pool events:",
+        ]
+        for kind in sorted(self.pool_events):
+            lines.append(f"  {kind}: {self.pool_events[kind]}")
+        lines += ["", "warmup load:"]
+        lines += ["  " + line for line in self.warmup.render().splitlines()]
+        lines += ["", "storm load:"]
+        lines += ["  " + line for line in self.storm.render().splitlines()]
+        if not self.slo_ok:
+            lines += ["", "SLO breaches:"]
+            lines += [f"  - {problem}" for problem in self.failures]
+        return "\n".join(lines)
+
+
+async def run_chaos(
+    clients: int = 8,
+    requests_per_client: int = 6,
+    request_bytes: int = 1024,
+    seed: int = 1234,
+    scenario: Optional[FaultSchedule] = None,
+    pool_specs: Sequence[RingSpec] = DEFAULT_POOL_SPECS,
+    p99_bound_s: float = DEFAULT_P99_BOUND_S,
+    min_drained: int = 2,
+) -> ChaosReport:
+    """Run the full chaos drill in-process and return the verdict."""
+    # min_healthy = 3 puts the pool into brownout once the three IRO
+    # channels are locked out, so the storm phase exercises degraded
+    # grants while the STRs keep every byte health-gated.
+    pool = TrngPool(
+        pool_specs,
+        config=PoolConfig(min_healthy=3),
+        seed=seed,
+    )
+    server = EntropyServer(pool, ServerConfig())
+    await server.start()
+    assert server.port is not None
+    host = server.config.host
+    try:
+        _LOGGER.info("chaos warmup", clients=2)
+        warmup = await run_load(
+            host,
+            server.port,
+            clients=2,
+            requests_per_client=2,
+            request_bytes=request_bytes,
+        )
+        pool.inject(scenario if scenario is not None else default_chaos_scenario())
+        _LOGGER.info("chaos storm", clients=clients)
+        storm = await run_load(
+            host,
+            server.port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            request_bytes=request_bytes,
+        )
+    finally:
+        server.request_shutdown()
+        try:
+            await asyncio.wait_for(
+                server.wait_closed(),
+                timeout=server.config.drain_timeout_s + 2.0,
+            )
+            drained_cleanly = True
+        except asyncio.TimeoutError:
+            drained_cleanly = False
+    drained = tuple(
+        channel.name for channel in pool.channels if channel.flap_count > 0
+    )
+    events: Dict[str, int] = {}
+    for event in pool.events:
+        events[event.kind] = events.get(event.kind, 0) + 1
+    report = ChaosReport(
+        warmup=warmup,
+        storm=storm,
+        drained_channels=drained,
+        unhealthy_emitted_blocks=pool.unhealthy_emitted_blocks(),
+        pool_events=events,
+        p99_bound_s=p99_bound_s,
+        drained_cleanly=drained_cleanly,
+        min_drained=min_drained,
+    )
+    _LOGGER.info(
+        "chaos verdict",
+        slo_ok=report.slo_ok,
+        drained=len(drained),
+        unhealthy=report.unhealthy_emitted_blocks,
+    )
+    return report

@@ -1,0 +1,175 @@
+"""Asyncio client for the entropy service with integrity verification.
+
+:class:`EntropyClient` speaks the :mod:`repro.serve.protocol` wire
+format and *verifies* every response: sequence continuity (inherited
+from :class:`~repro.serve.protocol.FrameStream`), request-id echo,
+grant completeness (total delivered bytes must equal the request, the
+last frame must carry ``FLAG_FINAL`` and only the last frame may), and
+payload bounds.  Any violation raises :class:`IntegrityError` — the
+load generator counts these, and the chaos SLO demands the count stays
+at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    FLAG_DEGRADED,
+    FLAG_FINAL,
+    ErrorCode,
+    FrameStream,
+    FrameType,
+    ProtocolError,
+    decode_error,
+    decode_json,
+    encode_request,
+)
+
+
+class IntegrityError(ProtocolError):
+    """The server's response stream violated the protocol contract."""
+
+
+class ServerError(RuntimeError):
+    """The server answered a request with a typed ERROR frame."""
+
+    def __init__(self, code: ErrorCode, message: str) -> None:
+        super().__init__(f"{code.name}: {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchResult:
+    """One completed entropy grant."""
+
+    data: bytes
+    degraded: bool  #: any frame of the grant carried FLAG_DEGRADED
+    frames: int
+
+
+class EntropyClient:
+    """One connection to an :class:`~repro.serve.server.EntropyServer`."""
+
+    def __init__(self, stream: FrameStream, hello: Dict[str, Any]) -> None:
+        self._stream = stream
+        self._hello = hello
+        self._next_request_id = 1
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "EntropyClient":
+        """Open a connection and consume the server HELLO."""
+        reader, writer = await asyncio.open_connection(host, port)
+        stream = FrameStream(reader, writer)
+        frame = await stream.recv()
+        if frame.frame_type != FrameType.HELLO:
+            raise IntegrityError(
+                f"expected HELLO as the first frame, got type {frame.frame_type}"
+            )
+        return cls(stream, decode_json(frame.payload))
+
+    @property
+    def hello(self) -> Dict[str, Any]:
+        return dict(self._hello)
+
+    def _claim_request_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
+
+    async def fetch(
+        self, byte_count: int, deadline_ms: int = 0, timeout_s: Optional[float] = None
+    ) -> FetchResult:
+        """Request ``byte_count`` random bytes; verify the full grant.
+
+        ``deadline_ms`` is the server-side deadline (0 = server default);
+        ``timeout_s`` additionally bounds the client-side wait.
+
+        Raises :class:`ServerError` on a typed error frame,
+        :class:`IntegrityError` on any protocol violation, and
+        ``asyncio.TimeoutError`` if ``timeout_s`` expires.
+        """
+        request_id = self._claim_request_id()
+        self._stream.send(
+            FrameType.REQUEST,
+            payload=encode_request(byte_count, deadline_ms),
+            request_id=request_id,
+        )
+        await self._stream.drain()
+        return await asyncio.wait_for(
+            self._collect_grant(request_id, byte_count), timeout=timeout_s
+        )
+
+    async def _collect_grant(self, request_id: int, byte_count: int) -> FetchResult:
+        chunks = []
+        received = 0
+        degraded = False
+        frames = 0
+        while True:
+            frame = await self._stream.recv()
+            if frame.frame_type == FrameType.ERROR:
+                if frame.request_id != request_id:
+                    raise IntegrityError(
+                        f"ERROR frame for request {frame.request_id}, "
+                        f"expected {request_id}"
+                    )
+                code, message = decode_error(frame.payload)
+                raise ServerError(code, message)
+            if frame.frame_type == FrameType.BYE:
+                raise IntegrityError("connection closed mid-grant (BYE)")
+            if frame.frame_type != FrameType.DATA:
+                raise IntegrityError(
+                    f"unexpected frame type {frame.frame_type} inside a grant"
+                )
+            if frame.request_id != request_id:
+                raise IntegrityError(
+                    f"DATA frame for request {frame.request_id}, "
+                    f"expected {request_id}"
+                )
+            if not frame.payload:
+                raise IntegrityError("empty DATA frame")
+            chunks.append(frame.payload)
+            received += len(frame.payload)
+            frames += 1
+            degraded = degraded or bool(frame.flags & FLAG_DEGRADED)
+            if frame.flags & FLAG_FINAL:
+                break
+            if received >= byte_count:
+                raise IntegrityError(
+                    f"grant over-delivered: {received} bytes without FLAG_FINAL "
+                    f"(requested {byte_count})"
+                )
+        if received != byte_count:
+            raise IntegrityError(
+                f"grant size mismatch: requested {byte_count} bytes, "
+                f"received {received}"
+            )
+        return FetchResult(data=b"".join(chunks), degraded=degraded, frames=frames)
+
+    async def status(self) -> Dict[str, Any]:
+        """Fetch a server/pool status snapshot (STATS frame)."""
+        self._stream.send(FrameType.STATUS)
+        await self._stream.drain()
+        frame = await self._stream.recv()
+        if frame.frame_type != FrameType.STATS:
+            raise IntegrityError(
+                f"expected STATS in reply to STATUS, got type {frame.frame_type}"
+            )
+        return decode_json(frame.payload)
+
+    async def close(self) -> None:
+        """Send BYE and close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.send(FrameType.BYE)
+            await self._stream.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._stream.close()
+        await self._stream.wait_closed()

@@ -1,0 +1,189 @@
+"""Load generator for the entropy service (``repro serve-load``).
+
+Drives N concurrent client connections against a running server, each
+issuing sequential fetches of a fixed size, and reports latency
+percentiles, throughput, typed-error counts and — critically —
+*integrity violations*: any frame-sequence break, grant-size mismatch
+or request-id confusion detected by :class:`~repro.serve.client`'s
+verification layer.  The chaos SLO (``docs/serving.md``) requires the
+violation count to be exactly zero even while the pool is being
+actively faulted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.serve.client import EntropyClient, IntegrityError, ServerError
+from repro.serve.protocol import ProtocolError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on no samples."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """Aggregate result of one load-generation run."""
+
+    clients: int
+    requests_ok: int
+    requests_error: int
+    bytes_received: int
+    degraded_grants: int
+    elapsed_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    errors_by_code: Dict[str, int]
+    integrity_violations: int
+    client_failures: int  #: connections lost to transport errors
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        return self.bytes_received / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"clients:              {self.clients}",
+            f"requests ok:          {self.requests_ok}",
+            f"requests error:       {self.requests_error}",
+            f"bytes received:       {self.bytes_received}",
+            f"degraded grants:      {self.degraded_grants}",
+            f"elapsed:              {self.elapsed_s:.3f} s",
+            f"throughput:           {self.throughput_bytes_per_s / 1024:.1f} KiB/s",
+            f"latency p50:          {self.p50_latency_s * 1000:.2f} ms",
+            f"latency p99:          {self.p99_latency_s * 1000:.2f} ms",
+            f"latency max:          {self.max_latency_s * 1000:.2f} ms",
+            f"integrity violations: {self.integrity_violations}",
+            f"client failures:      {self.client_failures}",
+        ]
+        for name in sorted(self.errors_by_code):
+            lines.append(f"  error {name}: {self.errors_by_code[name]}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class _WorkerTally:
+    ok: int = 0
+    errors: int = 0
+    bytes_received: int = 0
+    degraded: int = 0
+    latencies: List[float] = dataclasses.field(default_factory=list)
+    errors_by_code: Dict[str, int] = dataclasses.field(default_factory=dict)
+    integrity_violations: int = 0
+    failed: bool = False
+
+
+async def _load_worker(
+    host: str,
+    port: int,
+    requests: int,
+    request_bytes: int,
+    deadline_ms: int,
+    tally: _WorkerTally,
+) -> None:
+    try:
+        client = await EntropyClient.connect(host, port)
+    except (ConnectionError, OSError, ProtocolError):
+        tally.failed = True
+        return
+    try:
+        for _ in range(requests):
+            started = time.monotonic()
+            try:
+                result = await client.fetch(request_bytes, deadline_ms=deadline_ms)
+            except ServerError as error:
+                tally.errors += 1
+                name = error.code.name
+                tally.errors_by_code[name] = tally.errors_by_code.get(name, 0) + 1
+                continue
+            except IntegrityError:
+                tally.integrity_violations += 1
+                tally.failed = True
+                return
+            except (
+                ConnectionError,
+                OSError,
+                ProtocolError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ):
+                tally.failed = True
+                return
+            tally.ok += 1
+            tally.bytes_received += len(result.data)
+            tally.latencies.append(time.monotonic() - started)
+            if result.degraded:
+                tally.degraded += 1
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests_per_client: int = 16,
+    request_bytes: int = 1024,
+    deadline_ms: int = 0,
+) -> LoadReport:
+    """Run ``clients`` concurrent connections and aggregate the tallies."""
+    if clients < 1:
+        raise ValueError("need at least one client")
+    tallies = [_WorkerTally() for _ in range(clients)]
+    started = time.monotonic()
+    await asyncio.gather(
+        *(
+            _load_worker(host, port, requests_per_client, request_bytes, deadline_ms, tally)
+            for tally in tallies
+        )
+    )
+    elapsed = time.monotonic() - started
+    latencies: List[float] = []
+    errors_by_code: Dict[str, int] = {}
+    ok = errors = received = degraded = violations = failures = 0
+    for tally in tallies:
+        ok += tally.ok
+        errors += tally.errors
+        received += tally.bytes_received
+        degraded += tally.degraded
+        violations += tally.integrity_violations
+        failures += 1 if tally.failed else 0
+        latencies.extend(tally.latencies)
+        for name, count in tally.errors_by_code.items():
+            errors_by_code[name] = errors_by_code.get(name, 0) + count
+    return LoadReport(
+        clients=clients,
+        requests_ok=ok,
+        requests_error=errors,
+        bytes_received=received,
+        degraded_grants=degraded,
+        elapsed_s=elapsed,
+        p50_latency_s=percentile(latencies, 50.0),
+        p99_latency_s=percentile(latencies, 99.0),
+        max_latency_s=max(latencies) if latencies else 0.0,
+        errors_by_code=errors_by_code,
+        integrity_violations=violations,
+        client_failures=failures,
+    )
+
+
+def format_errors(report: LoadReport) -> Tuple[str, ...]:
+    """Human-readable SLO breach list (empty tuple = load run clean)."""
+    problems = []
+    if report.integrity_violations:
+        problems.append(f"{report.integrity_violations} integrity violation(s)")
+    if report.client_failures:
+        problems.append(f"{report.client_failures} client connection failure(s)")
+    return tuple(problems)

@@ -1,0 +1,264 @@
+"""Length-prefixed framed wire protocol for the entropy service.
+
+Every message is one *frame*: a fixed 16-byte header followed by a
+length-prefixed payload::
+
+    0      1      2          4            8        12       16
+    +------+------+----------+------------+--------+--------+----
+    | ver  | type |  flags   | request_id |  seq   | length | payload...
+    | u8   | u8   |  u16     |  u32       |  u32   |  u32   |
+    +------+------+----------+------------+--------+--------+----
+
+All integers are big-endian.  ``seq`` is a per-connection,
+per-direction counter starting at zero and incremented by one for every
+frame a side sends; the receiver verifies it, so a lost, duplicated or
+reordered frame is detected immediately (:class:`SequenceError`) rather
+than silently corrupting the byte stream.  ``request_id`` echoes the
+client's id on every server frame belonging to that request.
+
+Frame types (:class:`FrameType`):
+
+==========  =========  ====================================================
+type        direction  payload
+==========  =========  ====================================================
+HELLO       S -> C     JSON server info (name, version, block_bits, limits)
+REQUEST     C -> S     ``!IQ`` — byte count (u32), deadline in ms (u64, 0 =
+                       server default)
+DATA        S -> C     raw random bytes; flags: ``FLAG_DEGRADED`` (granted
+                       under brownout), ``FLAG_FINAL`` (last frame of the
+                       request)
+ERROR       S -> C     JSON ``{code, name, message}`` — a *typed* error
+                       terminating one request (:class:`ErrorCode`)
+STATUS      C -> S     empty — asks for a status report
+STATS       S -> C     JSON pool/server status snapshot
+BYE         both       empty — clean connection shutdown
+==========  =========  ====================================================
+
+The payload length is bounded by :data:`MAX_PAYLOAD`; an oversized
+header is rejected before any allocation (:class:`FrameTooLargeError`).
+See ``docs/serving.md`` for the full specification.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import enum
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+#: Wire protocol version; bumped on any incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on a single frame's payload size (1 MiB).
+MAX_PAYLOAD = 1 << 20
+
+_HEADER = struct.Struct("!BBHIII")
+_REQUEST = struct.Struct("!IQ")
+
+#: DATA flag: this grant was issued in brownout (degraded) mode.
+FLAG_DEGRADED = 0x1
+#: DATA flag: last frame of the request — the grant is complete.
+FLAG_FINAL = 0x2
+
+
+class FrameType(enum.IntEnum):
+    """Frame type tags (see module docstring for the full table)."""
+
+    HELLO = 1
+    REQUEST = 2
+    DATA = 3
+    ERROR = 4
+    STATUS = 5
+    STATS = 6
+    BYE = 7
+
+
+class ErrorCode(enum.IntEnum):
+    """Typed error codes carried by ERROR frames."""
+
+    BAD_REQUEST = 1  # malformed or out-of-bounds request
+    TIMEOUT = 2  # the request's deadline expired
+    BACKPRESSURE = 3  # the client's pending-request queue is full
+    POOL_EXHAUSTED = 4  # no healthy channel could serve within patience
+    DRAINING = 5  # the server is shutting down; request rejected
+    INTERNAL = 6  # unexpected server-side failure
+
+
+class ProtocolError(RuntimeError):
+    """A frame violated the wire protocol."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame announced a payload above :data:`MAX_PAYLOAD`."""
+
+
+class SequenceError(ProtocolError):
+    """A received frame broke the per-connection sequence contract."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    frame_type: int
+    payload: bytes = b""
+    flags: int = 0
+    request_id: int = 0
+    seq: int = 0
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame (header + payload) to wire bytes."""
+    if len(frame.payload) > MAX_PAYLOAD:
+        raise FrameTooLargeError(
+            f"payload of {len(frame.payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame bound"
+        )
+    header = _HEADER.pack(
+        PROTOCOL_VERSION,
+        int(frame.frame_type),
+        frame.flags,
+        frame.request_id,
+        frame.seq,
+        len(frame.payload),
+    )
+    return header + frame.payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read exactly one frame; raises ``IncompleteReadError`` at EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    version, frame_type, flags, request_id, seq, length = _HEADER.unpack(header)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version}, want {PROTOCOL_VERSION}"
+        )
+    if length > MAX_PAYLOAD:
+        raise FrameTooLargeError(
+            f"incoming frame announces {length} bytes, bound is {MAX_PAYLOAD}"
+        )
+    payload = await reader.readexactly(length) if length else b""
+    return Frame(
+        frame_type=frame_type,
+        payload=payload,
+        flags=flags,
+        request_id=request_id,
+        seq=seq,
+    )
+
+
+class FrameStream:
+    """One end of a framed connection with sequence bookkeeping.
+
+    Wraps an asyncio ``(reader, writer)`` pair; stamps outgoing frames
+    with the next send sequence number and verifies incoming frames
+    against the next expected receive number, raising
+    :class:`SequenceError` on any gap, duplicate or reordering.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_send = 0
+        self._next_recv = 0
+
+    @property
+    def writer(self) -> asyncio.StreamWriter:
+        return self._writer
+
+    def send(
+        self,
+        frame_type: int,
+        payload: bytes = b"",
+        flags: int = 0,
+        request_id: int = 0,
+    ) -> Frame:
+        """Queue one frame on the transport (call :meth:`drain` to flush)."""
+        frame = Frame(
+            frame_type=frame_type,
+            payload=payload,
+            flags=flags,
+            request_id=request_id,
+            seq=self._next_send,
+        )
+        self._writer.write(encode_frame(frame))
+        self._next_send += 1
+        return frame
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def recv(self) -> Frame:
+        """Receive the next frame, enforcing sequence continuity."""
+        frame = await read_frame(self._reader)
+        if frame.seq != self._next_recv:
+            raise SequenceError(
+                f"expected frame seq {self._next_recv}, got {frame.seq} "
+                f"(type {frame.frame_type}) — a frame was lost, duplicated "
+                "or reordered"
+            )
+        self._next_recv += 1
+        return frame
+
+    def close(self) -> None:
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# payload helpers
+# ----------------------------------------------------------------------
+def encode_request(byte_count: int, deadline_ms: int = 0) -> bytes:
+    """REQUEST payload: byte count (u32) + deadline in ms (u64, 0 = default)."""
+    if byte_count < 1:
+        raise ValueError(f"byte count must be positive, got {byte_count}")
+    if deadline_ms < 0:
+        raise ValueError(f"deadline must be non-negative, got {deadline_ms}")
+    return _REQUEST.pack(byte_count, deadline_ms)
+
+
+def decode_request(payload: bytes) -> Tuple[int, int]:
+    """Inverse of :func:`encode_request`; raises :class:`ProtocolError`."""
+    try:
+        byte_count, deadline_ms = _REQUEST.unpack(payload)
+    except struct.error as error:
+        raise ProtocolError(f"malformed REQUEST payload: {error}") from None
+    return int(byte_count), int(deadline_ms)
+
+
+def encode_json(obj: Dict[str, Any]) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"malformed JSON payload: {error}") from None
+    if not isinstance(decoded, dict):
+        raise ProtocolError("JSON payload must be an object")
+    return decoded
+
+
+def encode_error(code: ErrorCode, message: str) -> bytes:
+    """ERROR payload: ``{code, name, message}``."""
+    return encode_json({"code": int(code), "name": code.name, "message": message})
+
+
+def decode_error(payload: bytes) -> Tuple[ErrorCode, str]:
+    """Inverse of :func:`encode_error`."""
+    body = decode_json(payload)
+    try:
+        code = ErrorCode(int(body["code"]))
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"malformed ERROR payload: {error}") from None
+    return code, str(body.get("message", ""))

@@ -1,0 +1,475 @@
+"""The asyncio entropy server: backpressure, deadlines, graceful drain.
+
+One :class:`EntropyServer` fronts a :class:`~repro.serve.pool.TrngPool`
+for many concurrent clients:
+
+* **per-client backpressure** — each connection gets a bounded pending
+  request queue (overflow answers with a typed ``BACKPRESSURE`` error)
+  and grants are flushed through ``drain()`` so a slow reader throttles
+  only itself; a reader stalled past ``write_stall_timeout_s`` is shed
+  (connection closed) instead of pinning server memory;
+* **deadlines** — every request carries one (client-set, capped at
+  ``max_deadline_s``); expiry answers with a typed ``TIMEOUT`` error
+  frame, never a silent stall;
+* **brownout mode** — when the pool reports brownout, grants shrink to
+  ``brownout_grant_bytes`` and carry ``FLAG_DEGRADED``; the degradation
+  is in grant *size only* — bytes are health-gated in every mode;
+* **pool exhaustion** — with no healthy channel the server waits up to
+  ``exhausted_patience_s`` (bounded by the deadline) for a re-admission,
+  then answers ``POOL_EXHAUSTED``;
+* **graceful lifecycle** — ``SIGTERM``/``SIGINT`` trigger a drain: no
+  new connections, queued-but-unstarted requests are rejected with
+  ``DRAINING``, in-flight grants get ``drain_timeout_s`` to finish,
+  then every connection is closed with a ``BYE``.
+
+The request path is instrumented with the PR 3 telemetry layer
+(``repro.serve.request_latency_s`` histogram, ``repro.serve.*``
+counters, pool gauges); see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import signal
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.serve.pool import PoolExhaustedError, TrngPool
+from repro.serve.protocol import (
+    FLAG_DEGRADED,
+    FLAG_FINAL,
+    ErrorCode,
+    Frame,
+    FrameStream,
+    FrameType,
+    ProtocolError,
+    decode_request,
+    encode_error,
+    encode_json,
+)
+from repro.telemetry import default_registry, get_logger
+
+_LOGGER = get_logger("repro.serve.server")
+
+#: Histogram edges for request latency (seconds) — finer than the
+#: default time edges at the low end, where the SLO lives.
+LATENCY_EDGES_S: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Service tuning; the documented SLO bounds live in docs/serving.md."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is on server.port)
+    max_request_bytes: int = 1 << 20
+    grant_bytes: int = 4096
+    brownout_grant_bytes: int = 512
+    max_pending_per_client: int = 4
+    default_deadline_s: float = 5.0
+    max_deadline_s: float = 30.0
+    exhausted_retry_s: float = 0.02
+    exhausted_patience_s: float = 0.25
+    write_stall_timeout_s: float = 2.0
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_request_bytes < 1:
+            raise ValueError("max request bytes must be positive")
+        if not (0 < self.brownout_grant_bytes <= self.grant_bytes):
+            raise ValueError(
+                f"brownout grant ({self.brownout_grant_bytes}) must be in "
+                f"(0, grant_bytes={self.grant_bytes}]"
+            )
+        if self.max_pending_per_client < 1:
+            raise ValueError("need at least one pending request slot per client")
+        for name in (
+            "default_deadline_s",
+            "max_deadline_s",
+            "exhausted_retry_s",
+            "exhausted_patience_s",
+            "write_stall_timeout_s",
+            "drain_timeout_s",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+
+class _RequestError(Exception):
+    """Internal: terminate one request with a typed error frame."""
+
+    def __init__(self, code: ErrorCode, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class _ShedConnection(Exception):
+    """Internal: the client read too slowly; drop the connection."""
+
+
+class _Session:
+    """One client connection: reader task + sequential request worker."""
+
+    def __init__(self, server: "EntropyServer", stream: FrameStream) -> None:
+        self.server = server
+        self.stream = stream
+        self.queue: "asyncio.Queue[Optional[Frame]]" = asyncio.Queue()
+        self.write_lock = asyncio.Lock()
+        self.worker_task: Optional[asyncio.Task] = None
+        self.reader_task: Optional[asyncio.Task] = None
+
+
+class EntropyServer:
+    """Serve health-gated random bytes from a pool (see module docstring)."""
+
+    def __init__(self, pool: TrngPool, config: ServerConfig = ServerConfig()) -> None:
+        self._pool = pool
+        self._config = config
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: Set[_Session] = set()
+        self._pool_lock = asyncio.Lock()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._started_at = 0.0
+        self.port: Optional[int] = None
+        # Local tallies mirrored into the telemetry registry: the
+        # registry aggregates across the process, these summarize *this*
+        # server instance for the shutdown report.
+        self.requests_ok = 0
+        self.requests_error = 0
+        self.requests_shed = 0
+        self.bytes_served = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> TrngPool:
+        return self._pool
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind and start accepting clients; sets :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._on_client, host=self._config.host, port=self._config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        _LOGGER.info(
+            "entropy server listening", host=self._config.host, port=self.port
+        )
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into a graceful drain (daemon mode)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_shutdown)
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, safe from a signal)."""
+        if self._draining:
+            return
+        self._draining = True
+        _LOGGER.info("drain requested", clients=len(self._sessions))
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def wait_closed(self) -> None:
+        """Block until the drain completes and every session is gone."""
+        await self._drained.wait()
+
+    async def _drain(self) -> None:
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        # Give in-flight requests their drain window; queued-but-unstarted
+        # requests are answered DRAINING by the workers themselves.
+        workers = [
+            session.worker_task
+            for session in list(self._sessions)
+            if session.worker_task is not None
+        ]
+        for session in list(self._sessions):
+            session.queue.put_nowait(None)  # wake idle workers
+        if workers:
+            done, pending = await asyncio.wait(
+                workers, timeout=self._config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+        # Say goodbye on every surviving connection, then close.
+        for session in list(self._sessions):
+            try:
+                async with session.write_lock:
+                    session.stream.send(FrameType.BYE)
+                    await session.stream.drain()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            session.stream.close()
+            if session.reader_task is not None:
+                session.reader_task.cancel()
+        self._sessions.clear()
+        self._drained.set()
+        _LOGGER.info(
+            "drain complete",
+            requests_ok=self.requests_ok,
+            requests_error=self.requests_error,
+            bytes_served=self.bytes_served,
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """The shutdown report (also served on STATUS frames)."""
+        return {
+            "uptime_s": time.monotonic() - self._started_at if self._started_at else 0.0,
+            "requests_ok": self.requests_ok,
+            "requests_error": self.requests_error,
+            "requests_shed": self.requests_shed,
+            "bytes_served": self.bytes_served,
+            "clients": len(self._sessions),
+            "draining": self._draining,
+            "pool": self._pool.status(),
+        }
+
+    # ------------------------------------------------------------------
+    # per-connection machinery
+    # ------------------------------------------------------------------
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stream = FrameStream(reader, writer)
+        session = _Session(self, stream)
+        self._sessions.add(session)
+        default_registry().gauge("repro.serve.clients").set(len(self._sessions))
+        try:
+            async with session.write_lock:
+                stream.send(
+                    FrameType.HELLO,
+                    payload=encode_json(
+                        {
+                            "server": "repro-serve",
+                            "block_bits": self._pool.config.block_bits,
+                            "max_request_bytes": self._config.max_request_bytes,
+                            "grant_bytes": self._config.grant_bytes,
+                        }
+                    ),
+                )
+                await stream.drain()
+            session.worker_task = asyncio.current_task()
+            session.reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(session)
+            )
+            await self._work_loop(session)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        except _ShedConnection:
+            self.requests_shed += 1
+            default_registry().counter("repro.serve.requests_shed").inc()
+        finally:
+            if session.reader_task is not None:
+                session.reader_task.cancel()
+            stream.close()
+            await stream.wait_closed()
+            self._sessions.discard(session)
+            default_registry().gauge("repro.serve.clients").set(len(self._sessions))
+
+    async def _read_loop(self, session: _Session) -> None:
+        """Pull frames off the socket into the bounded pending queue."""
+        try:
+            while True:
+                frame = await session.stream.recv()
+                if frame.frame_type == FrameType.BYE:
+                    session.queue.put_nowait(None)
+                    return
+                if (
+                    frame.frame_type == FrameType.REQUEST
+                    and session.queue.qsize() >= self._config.max_pending_per_client
+                ):
+                    # Bounded pending queue: shed the overflow with a
+                    # typed error instead of buffering without limit.
+                    await self._send_error(
+                        session,
+                        frame.request_id,
+                        ErrorCode.BACKPRESSURE,
+                        f"pending queue full "
+                        f"(max {self._config.max_pending_per_client})",
+                    )
+                    continue
+                session.queue.put_nowait(frame)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError, ProtocolError):
+            session.queue.put_nowait(None)
+        except asyncio.CancelledError:
+            raise
+
+    async def _work_loop(self, session: _Session) -> None:
+        """Serve queued frames sequentially (frames on a connection are
+        ordered, so one worker per connection keeps seq semantics trivial)."""
+        while True:
+            frame = await session.queue.get()
+            if frame is None:
+                return
+            if frame.frame_type == FrameType.STATUS:
+                async with session.write_lock:
+                    session.stream.send(
+                        FrameType.STATS, payload=encode_json(self.summary())
+                    )
+                    await session.stream.drain()
+                continue
+            if frame.frame_type != FrameType.REQUEST:
+                await self._send_error(
+                    session,
+                    frame.request_id,
+                    ErrorCode.BAD_REQUEST,
+                    f"unexpected frame type {frame.frame_type}",
+                )
+                continue
+            await self._handle_request(session, frame)
+            if self._draining and session.queue.empty():
+                return
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    async def _send_error(
+        self, session: _Session, request_id: int, code: ErrorCode, message: str
+    ) -> None:
+        self.requests_error += 1
+        registry = default_registry()
+        registry.counter("repro.serve.requests_error").inc()
+        registry.counter(f"repro.serve.errors.{code.name.lower()}").inc()
+        try:
+            async with session.write_lock:
+                session.stream.send(
+                    FrameType.ERROR,
+                    payload=encode_error(code, message),
+                    request_id=request_id,
+                )
+                await session.stream.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_request(self, session: _Session, frame: Frame) -> None:
+        registry = default_registry()
+        registry.counter("repro.serve.requests_total").inc()
+        if self._draining:
+            await self._send_error(
+                session, frame.request_id, ErrorCode.DRAINING, "server is draining"
+            )
+            return
+        try:
+            byte_count, deadline_ms = decode_request(frame.payload)
+        except ProtocolError as error:
+            await self._send_error(
+                session, frame.request_id, ErrorCode.BAD_REQUEST, str(error)
+            )
+            return
+        if not (1 <= byte_count <= self._config.max_request_bytes):
+            await self._send_error(
+                session,
+                frame.request_id,
+                ErrorCode.BAD_REQUEST,
+                f"requested {byte_count} bytes, bound is "
+                f"{self._config.max_request_bytes}",
+            )
+            return
+        deadline_s = (
+            deadline_ms / 1000.0 if deadline_ms else self._config.default_deadline_s
+        )
+        deadline_s = min(deadline_s, self._config.max_deadline_s)
+        start = time.monotonic()
+        try:
+            await asyncio.wait_for(
+                self._serve_request(session, frame.request_id, byte_count, start),
+                timeout=deadline_s,
+            )
+        except asyncio.TimeoutError:
+            await self._send_error(
+                session,
+                frame.request_id,
+                ErrorCode.TIMEOUT,
+                f"deadline of {deadline_s:g}s expired",
+            )
+            return
+        except _RequestError as error:
+            await self._send_error(session, frame.request_id, error.code, error.message)
+            return
+        latency = time.monotonic() - start
+        self.requests_ok += 1
+        registry.counter("repro.serve.requests_ok").inc()
+        registry.histogram("repro.serve.request_latency_s", LATENCY_EDGES_S).observe(
+            latency
+        )
+
+    async def _serve_request(
+        self, session: _Session, request_id: int, byte_count: int, start: float
+    ) -> None:
+        remaining = byte_count
+        while remaining > 0:
+            degraded = self._pool.brownout
+            grant = (
+                self._config.brownout_grant_bytes
+                if degraded
+                else self._config.grant_bytes
+            )
+            grant = min(grant, remaining)
+            data = await self._get_bytes(grant)
+            remaining -= len(data)
+            flags = (FLAG_DEGRADED if degraded else 0) | (
+                FLAG_FINAL if remaining == 0 else 0
+            )
+            if degraded:
+                default_registry().counter("repro.serve.grants_degraded").inc()
+            async with session.write_lock:
+                session.stream.send(
+                    FrameType.DATA, payload=data, flags=flags, request_id=request_id
+                )
+                try:
+                    # Slow-reader shedding: a client that cannot absorb
+                    # its grants within the stall budget is disconnected
+                    # rather than allowed to pin server buffers.
+                    await asyncio.wait_for(
+                        session.stream.drain(),
+                        timeout=self._config.write_stall_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    raise _ShedConnection() from None
+            self.bytes_served += len(data)
+            default_registry().counter("repro.serve.bytes_served").inc(len(data))
+            # Yield between grants so one giant request cannot starve
+            # the event loop for every other client.
+            await asyncio.sleep(0)
+
+    async def _get_bytes(self, count: int) -> bytes:
+        """Pull gated bytes from the pool, waiting briefly through full
+        exhaustion (a re-admission probe may bring a channel back)."""
+        waited = 0.0
+        while True:
+            async with self._pool_lock:
+                try:
+                    return self._pool.get_bytes(count)
+                except PoolExhaustedError as error:
+                    detail = str(error)
+            if waited >= self._config.exhausted_patience_s:
+                raise _RequestError(ErrorCode.POOL_EXHAUSTED, detail)
+            await asyncio.sleep(self._config.exhausted_retry_s)
+            waited += self._config.exhausted_retry_s

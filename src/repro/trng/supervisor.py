@@ -205,12 +205,70 @@ class BlockRecord:
 
 
 @dataclasses.dataclass(frozen=True)
+class BackoffSchedule:
+    """Bounded exponential backoff with deterministic jitter, in blocks.
+
+    Attempt ``k`` (0-based) waits ``base_blocks * factor**k`` blocks,
+    capped at ``max_blocks``, then scaled by a jitter factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]``.  The jitter draw is a
+    pure function of ``(seed, attempt)``, so a replayed run waits the
+    exact same schedule — randomized enough to de-synchronize a fleet,
+    deterministic enough for claims-as-code.
+
+    The default (``factor=1.0, jitter=0.0``) degenerates to a fixed
+    wait of ``base_blocks`` per attempt.
+    """
+
+    base_blocks: int = 1
+    factor: float = 1.0
+    max_blocks: Optional[int] = None
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_blocks < 0:
+            raise ValueError(f"base blocks must be non-negative, got {self.base_blocks}")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {self.factor}")
+        if self.max_blocks is not None and self.max_blocks < self.base_blocks:
+            raise ValueError(
+                f"max blocks ({self.max_blocks}) must be >= base ({self.base_blocks})"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"jitter fraction must be in [0, 1), got {self.jitter}")
+
+    def blocks(self, attempt: int) -> int:
+        """Blocks to wait before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        raw = self.base_blocks * self.factor**attempt
+        if self.max_blocks is not None:
+            raw = min(raw, float(self.max_blocks))
+        if self.jitter > 0.0 and raw > 0.0:
+            draw = float(np.random.default_rng([self.seed, attempt]).random())
+            raw *= 1.0 + self.jitter * (2.0 * draw - 1.0)
+        return max(0, int(round(raw)))
+
+
+@dataclasses.dataclass(frozen=True)
 class RecoveryPolicy:
-    """Configuration of the recovery ladder."""
+    """Configuration of the recovery ladder.
+
+    The retry rung waits ``retry_backoff_blocks * retry_backoff_factor**k``
+    discarded blocks before probe ``k``, capped at
+    ``retry_backoff_max_blocks`` and jittered deterministically by
+    ``retry_jitter`` (seeded with ``retry_jitter_seed``).  The defaults
+    (factor 1, no jitter) reproduce the historical fixed-wait behaviour
+    block for block, so existing EXT10 / verify claims are unchanged.
+    """
 
     startup_blocks: int = 2
     max_retries: int = 2
     retry_backoff_blocks: int = 1
+    retry_backoff_factor: float = 1.0
+    retry_backoff_max_blocks: Optional[int] = None
+    retry_jitter: float = 0.0
+    retry_jitter_seed: int = 0
     allow_restart: bool = True
     backup_specs: Tuple = ()
     allow_degraded: bool = True
@@ -220,10 +278,17 @@ class RecoveryPolicy:
             raise ValueError(f"need at least one startup block, got {self.startup_blocks}")
         if self.max_retries < 0:
             raise ValueError(f"retries must be non-negative, got {self.max_retries}")
-        if self.retry_backoff_blocks < 0:
-            raise ValueError(
-                f"backoff blocks must be non-negative, got {self.retry_backoff_blocks}"
-            )
+        self.backoff()  # validates the backoff fields
+
+    def backoff(self) -> BackoffSchedule:
+        """The retry rung's wait schedule (see :class:`BackoffSchedule`)."""
+        return BackoffSchedule(
+            base_blocks=self.retry_backoff_blocks,
+            factor=self.retry_backoff_factor,
+            max_blocks=self.retry_backoff_max_blocks,
+            jitter=self.retry_jitter,
+            seed=self.retry_jitter_seed,
+        )
 
 
 class RingChannel:
@@ -631,9 +696,10 @@ class _SupervisedRun:
     def _recover(self) -> bool:
         """Walk the recovery ladder; True when generation may continue."""
         policy = self._owner._policy
+        backoff = policy.backoff()
         # 1. bounded retry with backoff: discard, then probe.
         for attempt in range(policy.max_retries):
-            for _ in range(policy.retry_backoff_blocks):
+            for _ in range(backoff.blocks(attempt)):
                 bits, status, position, time_s = self._sample(self._active)
                 self._record(
                     bits, status, position, time_s, 0, False, self._active_name()

@@ -2,6 +2,8 @@
 
 import dataclasses
 import json
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -179,3 +181,131 @@ class TestMaintenance:
     def test_default_cache_honors_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "from_env"))
         assert default_cache().root == tmp_path / "from_env"
+
+
+def _hammer_same_key(root, barrier, rounds):
+    """Worker: all processes write the *same* key, same content."""
+    cache = ResultCache(root=root, version="1.0.0")
+    barrier.wait()
+    for _ in range(rounds):
+        cache.put("sweep_point", SPEC, 1, {"frequency_mhz": 376.5})
+
+
+def _hammer_own_keys(root, barrier, worker_id, per_worker):
+    """Worker: each process writes its own seed range."""
+    cache = ResultCache(root=root, version="1.0.0")
+    barrier.wait()
+    for i in range(per_worker):
+        seed = worker_id * per_worker + i
+        cache.put("sweep_point", SPEC, seed, {"worker": worker_id, "seed": seed})
+
+
+class TestConcurrency:
+    """`.repro_cache` shared by concurrent multi-process writers."""
+
+    WORKERS = 4
+
+    def _spawn(self, target, args_for):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(self.WORKERS)
+        processes = [
+            ctx.Process(target=target, args=args_for(barrier, worker_id))
+            for worker_id in range(self.WORKERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+        assert all(process.exitcode == 0 for process in processes)
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        root = tmp_path / "cache"
+        self._spawn(
+            _hammer_same_key, lambda barrier, _: (root, barrier, 25)
+        )
+        cache = ResultCache(root=root, version="1.0.0")
+        assert cache.get("sweep_point", SPEC, 1) == {"frequency_mhz": 376.5}
+        assert cache.stats().entry_count == 1
+        # No orphaned temporaries survived the stampede.
+        assert not list(root.rglob("*.tmp"))
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        root = tmp_path / "cache"
+        per_worker = 16
+        self._spawn(
+            _hammer_own_keys,
+            lambda barrier, worker_id: (root, barrier, worker_id, per_worker),
+        )
+        cache = ResultCache(root=root, version="1.0.0")
+        total = self.WORKERS * per_worker
+        assert cache.stats().entry_count == total
+        for seed in range(total):
+            result = cache.get("sweep_point", SPEC, seed)
+            assert result == {"worker": seed // per_worker, "seed": seed}
+        assert not list(root.rglob("*.tmp"))
+
+    def test_torn_entry_variants_all_count_as_miss(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        path = cache._path(cache.key_for("sweep_point", SPEC, 1))
+        for torn in (b"", b'{"kind": "sweep_po', b"\xde\xad\xbe\xef", b"[1, 2]"):
+            path.write_bytes(torn)
+            assert cache.get("sweep_point", SPEC, 1) is MISSING
+        # A valid document missing its result field is torn too.
+        path.write_text('{"kind": "sweep_point"}', encoding="utf-8")
+        assert cache.get("sweep_point", SPEC, 1) is MISSING
+        # And the slot is rewritable after any of that.
+        cache.put("sweep_point", SPEC, 1, 43)
+        assert cache.get("sweep_point", SPEC, 1) == 43
+
+    def test_put_retries_after_losing_race_to_clear(self, cache, monkeypatch):
+        """A clear() sweeping the shard between write and rename: the
+        writer recreates the shard and lands the entry on its retry."""
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def flaky_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                os.unlink(src)  # the concurrent clear() took our tmp too
+                raise FileNotFoundError(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        cache.put("sweep_point", SPEC, 1, {"ok": True})
+        assert calls["n"] == 2
+        assert cache.get("sweep_point", SPEC, 1) == {"ok": True}
+
+    def test_put_gives_up_cleanly_when_clear_keeps_winning(self, cache, monkeypatch):
+        def always_gone(src, dst):
+            raise FileNotFoundError(src)
+
+        monkeypatch.setattr(os, "replace", always_gone)
+        with pytest.raises(FileNotFoundError):
+            cache.put("sweep_point", SPEC, 1, 42)
+        # The failed writer left no temporary droppings behind.
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_rename_over_pinned_destination_counts_as_written(
+        self, cache, monkeypatch
+    ):
+        """Windows-style rename-over-open: same content is already
+        published by the other writer, so put() succeeds quietly."""
+        cache.put("sweep_point", SPEC, 1, 42)  # the "other writer"
+
+        def pinned(src, dst):
+            raise PermissionError(dst)
+
+        monkeypatch.setattr(os, "replace", pinned)
+        cache.put("sweep_point", SPEC, 1, 42)  # must not raise
+        assert not list(cache.root.rglob("*.tmp"))
+        monkeypatch.undo()
+        assert cache.get("sweep_point", SPEC, 1) == 42
+
+    def test_clear_sweeps_orphaned_tmp_files(self, cache):
+        cache.put("sweep_point", SPEC, 1, 42)
+        shard = cache._path(cache.key_for("sweep_point", SPEC, 1)).parent
+        orphan = shard / ".deadbeef.crashed.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+        assert cache.clear() == 1  # tmp files are not entries
+        assert not orphan.exists()
+        assert not shard.exists()  # emptied shards are removed too

@@ -1,0 +1,81 @@
+"""The chaos SLO acceptance test (ISSUE 6 tentpole criterion).
+
+8 concurrent load-generator clients + injected brownout + glitch-burst
+faults draining >= 2 pool channels; the server must deliver only
+health-gated bytes (zero blocks from an alarmed channel), lose or
+duplicate no frames, keep p99 of successful requests under the
+documented bound, and drain cleanly on shutdown.
+"""
+
+import asyncio
+
+from repro.serve.chaos import (
+    DEFAULT_P99_BOUND_S,
+    ChaosReport,
+    default_chaos_scenario,
+    run_chaos,
+)
+
+
+def _run(**kwargs) -> ChaosReport:
+    return asyncio.run(run_chaos(**kwargs))
+
+
+def test_chaos_slo_holds_under_brownout_and_glitch_storm():
+    report = _run(
+        clients=8, requests_per_client=4, request_bytes=512, seed=1234
+    )
+    assert report.slo_ok, "\n".join(report.failures)
+
+    # Spelled out, so a regression pinpoints the broken guarantee:
+    # 1. zero unhealthy bytes — no emitted block carried an alarm;
+    assert report.unhealthy_emitted_blocks == 0
+    # 2. the storm genuinely drained capacity (>= 2 channels hit);
+    assert len(report.drained_channels) >= 2
+    # the three IROs must be among them (the paper's brownout asymmetry)
+    iro_drained = [name for name in report.drained_channels if name.startswith("IRO")]
+    assert len(iro_drained) == 3
+    # 3. no lost/duplicated/short frames anywhere;
+    assert report.storm.integrity_violations == 0
+    assert report.warmup.integrity_violations == 0
+    assert report.storm.client_failures == 0
+    # 4. p99 of successful requests under the documented bound;
+    assert report.storm.requests_ok > 0
+    assert report.storm.p99_latency_s <= DEFAULT_P99_BOUND_S
+    # 5. clean SIGTERM-style drain.
+    assert report.drained_cleanly
+
+    # The failover machinery actually fired.
+    assert report.pool_events.get("quarantine", 0) >= 3
+    assert report.pool_events.get("fault_injected", 0) == 1
+    # Brownout mode degraded grant sizes rather than shutting clients out.
+    assert report.storm.degraded_grants > 0
+    # Warmup (pre-fault) traffic was clean and undegraded.
+    assert report.warmup.requests_error == 0
+    assert report.warmup.degraded_grants == 0
+
+
+def test_chaos_report_render_and_failures_list():
+    report = _run(clients=4, requests_per_client=2, request_bytes=256, seed=77)
+    text = report.render()
+    assert "chaos SLO" in text
+    assert "drained channels" in text
+    if report.slo_ok:
+        assert report.failures == ()
+        assert "PASS" in text
+    else:
+        assert report.failures
+        assert "FAIL" in text
+
+
+def test_default_scenario_shape():
+    scenario = default_chaos_scenario()
+    # Persistent brownout + windowed glitch, in that order.
+    assert len(scenario.entries) == 2
+    brownout, glitch = scenario.entries
+    assert brownout.stop_s is None
+    assert glitch.stop_s is not None and glitch.stop_s > glitch.start_s
+    # The brownout is severe enough to lock an IRO (weight ~0.97) but
+    # not an STR (~0.78): 0.97*s >= 0.85 > 0.78*s.
+    severity = brownout.fault.severity
+    assert 0.97 * severity >= 0.85 > 0.78 * severity

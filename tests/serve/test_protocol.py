@@ -1,0 +1,185 @@
+"""Wire-protocol unit tests: framing, bounds, sequence enforcement."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Frame,
+    FrameStream,
+    FrameTooLargeError,
+    FrameType,
+    ProtocolError,
+    SequenceError,
+    decode_error,
+    decode_json,
+    decode_request,
+    encode_error,
+    encode_frame,
+    encode_json,
+    encode_request,
+    read_frame,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_one(data: bytes) -> Frame:
+    async def go():
+        return await read_frame(_reader_with(data))
+
+    return asyncio.run(go())
+
+
+def test_frame_roundtrip_all_fields():
+    frame = Frame(
+        frame_type=FrameType.DATA,
+        payload=b"\x01\x02\x03",
+        flags=0x3,
+        request_id=42,
+        seq=7,
+    )
+    decoded = _read_one(encode_frame(frame))
+    assert decoded == frame
+
+
+def test_empty_payload_roundtrip():
+    decoded = _read_one(encode_frame(Frame(frame_type=FrameType.BYE)))
+    assert decoded.frame_type == FrameType.BYE
+    assert decoded.payload == b""
+
+
+def test_encode_rejects_oversized_payload():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(Frame(frame_type=FrameType.DATA, payload=b"x" * (MAX_PAYLOAD + 1)))
+
+
+def test_read_rejects_oversized_header_before_payload():
+    # Hand-craft a header announcing an absurd length: the reader must
+    # refuse before attempting the allocation.
+    import struct
+
+    header = struct.pack(
+        "!BBHIII", PROTOCOL_VERSION, int(FrameType.DATA), 0, 0, 0, MAX_PAYLOAD + 1
+    )
+    with pytest.raises(FrameTooLargeError):
+        _read_one(header)
+
+
+def test_read_rejects_version_mismatch():
+    import struct
+
+    header = struct.pack("!BBHIII", PROTOCOL_VERSION + 1, int(FrameType.DATA), 0, 0, 0, 0)
+    with pytest.raises(ProtocolError):
+        _read_one(header)
+
+
+def test_read_eof_raises_incomplete():
+    with pytest.raises(asyncio.IncompleteReadError):
+        _read_one(b"\x01\x02")  # truncated header
+
+
+def test_request_payload_roundtrip():
+    assert decode_request(encode_request(4096, 1500)) == (4096, 1500)
+    assert decode_request(encode_request(1)) == (1, 0)
+
+
+def test_request_payload_validation():
+    with pytest.raises(ValueError):
+        encode_request(0)
+    with pytest.raises(ValueError):
+        encode_request(10, -1)
+    with pytest.raises(ProtocolError):
+        decode_request(b"\x00\x01")  # wrong size
+
+
+def test_error_payload_roundtrip():
+    code, message = decode_error(encode_error(ErrorCode.TIMEOUT, "too slow"))
+    assert code is ErrorCode.TIMEOUT
+    assert message == "too slow"
+
+
+def test_json_payload_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        decode_json(b"[1, 2]")
+    with pytest.raises(ProtocolError):
+        decode_json(b"\xff\xfe")
+    assert decode_json(encode_json({"a": 1})) == {"a": 1}
+
+
+class _NullWriter:
+    """Just enough of a StreamWriter for send-side FrameStream tests."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        pass
+
+    async def wait_closed(self):
+        pass
+
+
+def test_stream_stamps_monotonic_send_sequence():
+    async def go():
+        stream = FrameStream(asyncio.StreamReader(), _NullWriter())
+        first = stream.send(FrameType.DATA, payload=b"a")
+        second = stream.send(FrameType.DATA, payload=b"b")
+        return first.seq, second.seq
+
+    assert asyncio.run(go()) == (0, 1)
+
+
+def test_stream_detects_lost_frame():
+    # Wire holds frames with seq 0 then seq 2 — frame 1 was lost.
+    wire = encode_frame(
+        Frame(frame_type=FrameType.DATA, payload=b"a", seq=0)
+    ) + encode_frame(Frame(frame_type=FrameType.DATA, payload=b"c", seq=2))
+
+    async def go():
+        stream = FrameStream(_reader_with(wire), _NullWriter())
+        await stream.recv()
+        await stream.recv()
+
+    with pytest.raises(SequenceError):
+        asyncio.run(go())
+
+
+def test_stream_detects_duplicated_frame():
+    duplicate = encode_frame(Frame(frame_type=FrameType.DATA, payload=b"a", seq=0))
+
+    async def go():
+        stream = FrameStream(_reader_with(duplicate + duplicate), _NullWriter())
+        await stream.recv()
+        await stream.recv()
+
+    with pytest.raises(SequenceError):
+        asyncio.run(go())
+
+
+def test_stream_accepts_contiguous_sequence():
+    wire = b"".join(
+        encode_frame(Frame(frame_type=FrameType.DATA, payload=bytes([i]), seq=i))
+        for i in range(5)
+    )
+
+    async def go():
+        stream = FrameStream(_reader_with(wire), _NullWriter())
+        return [await stream.recv() for _ in range(5)]
+
+    frames = asyncio.run(go())
+    assert [frame.payload for frame in frames] == [bytes([i]) for i in range(5)]

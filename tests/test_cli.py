@@ -404,3 +404,79 @@ class TestVerifyCommand:
         assert {"verify_sweep", "verify_claim"} <= names
         metrics = next(r for r in records if r["type"] == "metrics")
         assert metrics["metrics"]["counters"]["repro.verify.pass"] >= 1
+
+
+class TestServeCommands:
+    def test_serve_parser_roundtrip(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "9999",
+                "--channels",
+                "iro:5",
+                "str:48",
+                "--min-healthy",
+                "1",
+                "--fault",
+                "brownout",
+                "--severity",
+                "0.9",
+                "--seed",
+                "3",
+            ]
+        )
+        assert args.port == 9999
+        assert [(spec.kind, spec.stage_count) for spec in args.channels] == [
+            ("iro", 5),
+            ("str", 48),
+        ]
+        assert args.min_healthy == 1
+        assert args.fault == "brownout"
+
+    def test_serve_default_pool_and_clean_scenario(self):
+        from repro.cli import _serve_scenario
+
+        args = build_parser().parse_args(["serve"])
+        assert args.channels is None  # reference pool
+        assert args.port == 0  # ephemeral
+        assert _serve_scenario(args) is None
+
+    def test_serve_scenario_mapping(self):
+        from repro.cli import _serve_scenario
+
+        chaos = _serve_scenario(build_parser().parse_args(["serve", "--fault", "chaos"]))
+        assert len(chaos.entries) == 2  # brownout + glitch window
+        brownout = _serve_scenario(
+            build_parser().parse_args(
+                ["serve", "--fault", "brownout", "--severity", "0.8", "--onset", "1.5"]
+            )
+        )
+        assert len(brownout.entries) == 1
+        assert brownout.entries[0].start_s == 1.5
+        assert brownout.entries[0].fault.severity == 0.8
+
+    def test_serve_load_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-load"])
+
+    def test_serve_chaos_drill_passes_slo(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-chaos",
+                    "--clients",
+                    "8",
+                    "--requests",
+                    "4",
+                    "--bytes",
+                    "512",
+                    "--seed",
+                    "1234",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "chaos SLO" in output and "PASS" in output
+        assert "unhealthy emitted:    0" in output

@@ -18,6 +18,7 @@ from repro.fpga.board import Board
 from repro.trng.health import HealthMonitor
 from repro.trng.supervisor import (
     LOCK_THRESHOLD,
+    BackoffSchedule,
     EventLog,
     RecoveryPolicy,
     RingChannel,
@@ -286,6 +287,208 @@ class TestSupervisedTrng:
         positions = [event.bit_position for event in result.events]
         assert times == sorted(times)
         assert positions == sorted(positions)
+
+class TestBackoffSchedule:
+    def test_default_is_fixed_wait(self):
+        schedule = BackoffSchedule(base_blocks=3)
+        assert [schedule.blocks(k) for k in range(6)] == [3] * 6
+
+    def test_exponential_growth(self):
+        schedule = BackoffSchedule(base_blocks=2, factor=2.0)
+        assert [schedule.blocks(k) for k in range(4)] == [2, 4, 8, 16]
+
+    def test_cap_bounds_growth(self):
+        schedule = BackoffSchedule(base_blocks=2, factor=2.0, max_blocks=10)
+        assert [schedule.blocks(k) for k in range(6)] == [2, 4, 8, 10, 10, 10]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        schedule = BackoffSchedule(
+            base_blocks=100, factor=2.0, max_blocks=10_000, jitter=0.25, seed=42
+        )
+        first = [schedule.blocks(k) for k in range(8)]
+        second = [schedule.blocks(k) for k in range(8)]
+        assert first == second  # pure function of (seed, attempt)
+        for attempt, waited in enumerate(first):
+            raw = min(100 * 2.0**attempt, 10_000.0)
+            assert raw * 0.75 - 1 <= waited <= raw * 1.25 + 1
+        # The jitter actually perturbs something.
+        unjittered = [
+            BackoffSchedule(base_blocks=100, factor=2.0, max_blocks=10_000).blocks(k)
+            for k in range(8)
+        ]
+        assert first != unjittered
+
+    def test_different_seeds_decorrelate(self):
+        waits_a = [
+            BackoffSchedule(base_blocks=1000, jitter=0.5, seed=1).blocks(k)
+            for k in range(8)
+        ]
+        waits_b = [
+            BackoffSchedule(base_blocks=1000, jitter=0.5, seed=2).blocks(k)
+            for k in range(8)
+        ]
+        assert waits_a != waits_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_blocks=-1)
+        with pytest.raises(ValueError):
+            BackoffSchedule(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_blocks=4, max_blocks=2)
+        with pytest.raises(ValueError):
+            BackoffSchedule(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffSchedule().blocks(-1)
+
+    def test_policy_exposes_backoff_and_validates_fields(self):
+        policy = RecoveryPolicy(
+            retry_backoff_blocks=2,
+            retry_backoff_factor=3.0,
+            retry_backoff_max_blocks=18,
+            retry_jitter=0.1,
+            retry_jitter_seed=9,
+        )
+        schedule = policy.backoff()
+        assert schedule == BackoffSchedule(
+            base_blocks=2, factor=3.0, max_blocks=18, jitter=0.1, seed=9
+        )
+        with pytest.raises(ValueError):
+            RecoveryPolicy(retry_backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(retry_jitter=1.5)
+
+    def test_default_policy_backoff_reproduces_fixed_wait(self):
+        schedule = RecoveryPolicy().backoff()
+        assert [schedule.blocks(k) for k in range(5)] == [1] * 5
+
+
+class TestRecoveryBackoffBehaviour:
+    def test_brownout_timeline_identical_with_explicit_defaults(self, board):
+        """Spelling the historical fixed wait explicitly changes nothing:
+        same events at the same bit positions, same emitted stream."""
+        default = SupervisedTrng(
+            IRO5, board=board, policy=RecoveryPolicy(backup_specs=(STR48,))
+        ).run(6144, scenario=scheduled(VoltageBrownoutFault(0.95)), seed=11)
+        explicit = SupervisedTrng(
+            IRO5,
+            board=board,
+            policy=RecoveryPolicy(
+                backup_specs=(STR48,),
+                retry_backoff_blocks=1,
+                retry_backoff_factor=1.0,
+                retry_backoff_max_blocks=None,
+                retry_jitter=0.0,
+            ),
+        ).run(6144, scenario=scheduled(VoltageBrownoutFault(0.95)), seed=11)
+        assert default.events.kinds() == explicit.events.kinds()
+        assert [e.bit_position for e in default.events] == [
+            e.bit_position for e in explicit.events
+        ]
+        assert np.array_equal(default.bits, explicit.bits)
+
+    def test_exponential_backoff_discards_more_before_probing(self, board):
+        """With factor > 1 the retry rung waits longer between probes, so
+        the same brownout costs more sampled (discarded) bits before the
+        ladder reaches failover — the recovery outcome is unchanged."""
+        scenario = scheduled(VoltageBrownoutFault(0.95))
+        fixed = SupervisedTrng(
+            IRO5,
+            board=board,
+            policy=RecoveryPolicy(backup_specs=(STR48,), max_retries=3),
+        ).run(6144, scenario=scenario, seed=11)
+        spaced = SupervisedTrng(
+            IRO5,
+            board=board,
+            policy=RecoveryPolicy(
+                backup_specs=(STR48,),
+                max_retries=3,
+                retry_backoff_blocks=2,
+                retry_backoff_factor=2.0,
+            ),
+        ).run(6144, scenario=scenario, seed=11)
+        assert fixed.final_state is TrngState.ONLINE
+        assert spaced.final_state is TrngState.ONLINE
+        assert "failover" in spaced.events.kinds()
+        assert spaced.total_sampled > fixed.total_sampled
+
+    def test_jittered_recovery_is_replayable(self, board):
+        policy = RecoveryPolicy(
+            backup_specs=(STR48,),
+            retry_backoff_blocks=2,
+            retry_backoff_factor=2.0,
+            retry_jitter=0.3,
+            retry_jitter_seed=5,
+        )
+        scenario = scheduled(VoltageBrownoutFault(0.95))
+        first = SupervisedTrng(IRO5, board=board, policy=policy).run(
+            6144, scenario=scenario, seed=11
+        )
+        second = SupervisedTrng(IRO5, board=board, policy=policy).run(
+            6144, scenario=scenario, seed=11
+        )
+        assert first.events.kinds() == second.events.kinds()
+        assert [e.bit_position for e in first.events] == [
+            e.bit_position for e in second.events
+        ]
+        assert np.array_equal(first.bits, second.bits)
+
+
+class TestFailoverEdgeCases:
+    def test_zero_spare_channels_brownout_is_total_failure(self, board):
+        """No backups and a single locked primary: the ladder walks
+        retry -> restart and stops — no failover, no degraded rung
+        (XOR needs two survivors), TOTAL_FAILURE latched."""
+        trng = SupervisedTrng(IRO5, board=board, policy=RecoveryPolicy())
+        result = trng.run(8192, scenario=scheduled(VoltageBrownoutFault(0.95)), seed=13)
+        assert result.final_state is TrngState.TOTAL_FAILURE
+        kinds = result.events.kinds()
+        assert "retry_failed" in kinds
+        assert "restart_failed" in kinds
+        assert "failover" not in kinds and "failover_failed" not in kinds
+        assert "degraded_mode" not in kinds and "degraded_failed" not in kinds
+        assert kinds[-1] == "total_failure"
+        assert result.emitted_after_first_alarm == 0
+
+    def test_alarm_during_degraded_mode(self, board):
+        """A stronger glitch spike while the XOR set is serving: the
+        alarm fires *from* the degraded state, its blocks are withheld,
+        and recovery returns to the degraded steady state."""
+        scenario = FaultSchedule(
+            [
+                # Persistent moderate shared glitch: pushes past failover
+                # into XOR-degraded mode (survivors' XOR is healthy).
+                ScheduledFault(GlitchBurstFault(0.5, local=False), start_s=0.2),
+                # A late severe spike the XOR cannot mask.
+                ScheduledFault(
+                    GlitchBurstFault(0.97, local=False), start_s=1.2, stop_s=1.45
+                ),
+            ],
+            name="degraded_then_spike",
+        )
+        trng = SupervisedTrng(
+            IRO5,
+            board=board,
+            policy=RecoveryPolicy(max_retries=1, backup_specs=(STR48,)),
+        )
+        result = trng.run(40_000, scenario=scenario, seed=31)
+        kinds = result.events.kinds()
+        assert "degraded_mode" in kinds
+        degraded_at = kinds.index("degraded_mode")
+        degraded_alarms = [
+            event
+            for event in result.events
+            if event.kind == "alarm" and event.state_from == "degraded"
+        ]
+        assert degraded_alarms, kinds
+        assert result.events.kinds().index("alarm", degraded_at) > degraded_at
+        # Withheld while alarmed: no emitted block carries alarms.
+        for record in result.blocks:
+            if record.alarm_count > 0:
+                assert not record.emitted
+        # The spike passes; the run ends back in a serving state.
+        assert result.final_state in (TrngState.DEGRADED, TrngState.ONLINE)
+
 
 class TestEventSerialization:
     def test_event_round_trips_through_dict(self):
