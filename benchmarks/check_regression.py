@@ -41,9 +41,17 @@ def load_means(bench_json_path: str) -> Dict[str, float]:
 
 
 def check(
-    current: Dict[str, float], reference: Dict[str, float], factor: float
+    current: Dict[str, float],
+    reference: Dict[str, float],
+    factor: float,
+    allow_untracked: bool = False,
 ) -> int:
-    """Print a comparison table; return the number of failures."""
+    """Print a comparison table; return the number of failures.
+
+    A benchmark present in the export but absent from the reference file
+    is a failure unless ``allow_untracked`` is set: a silently untracked
+    benchmark is exactly how a new hot path escapes the gate.
+    """
     failures = 0
     width = max(len(name) for name in {**reference, **current}) if reference or current else 4
     print(f"{'benchmark'.ljust(width)}  {'ref [s]':>9}  {'now [s]':>9}  {'ratio':>6}  verdict")
@@ -60,7 +68,17 @@ def check(
             failures += 1
         print(f"{name.ljust(width)}  {ref:9.3f}  {now:9.3f}  {ratio:6.2f}  {verdict}")
     for name in sorted(set(current) - set(reference)):
-        print(f"{name.ljust(width)}  {'-':>9}  {current[name]:9.3f}  {'-':>6}  untracked")
+        verdict = "untracked (allowed)" if allow_untracked else "UNTRACKED"
+        if not allow_untracked:
+            failures += 1
+        print(f"{name.ljust(width)}  {'-':>9}  {current[name]:9.3f}  {'-':>6}  {verdict}")
+    untracked = sorted(set(current) - set(reference))
+    if untracked and not allow_untracked:
+        print(
+            f"\nuntracked benchmark(s) {', '.join(untracked)}: add reference "
+            "entries to benchmarks/reference_timings.json or pass --allow-untracked",
+            file=sys.stderr,
+        )
     return failures
 
 
@@ -74,13 +92,19 @@ def main(argv=None) -> int:
         default=float(os.environ.get("REPRO_BENCH_FACTOR", "2.0")),
         help="allowed slowdown vs reference (default: 2.0, env REPRO_BENCH_FACTOR)",
     )
+    parser.add_argument(
+        "--allow-untracked",
+        action="store_true",
+        help="tolerate benchmarks missing from the reference file "
+        "(by default they fail the gate)",
+    )
     args = parser.parse_args(argv)
 
     current = load_means(args.bench_json)
     with open(args.reference_json, "r", encoding="utf-8") as handle:
         reference = {name: float(value) for name, value in json.load(handle).items()}
 
-    failures = check(current, reference, args.factor)
+    failures = check(current, reference, args.factor, allow_untracked=args.allow_untracked)
     if failures:
         print(f"\n{failures} benchmark(s) failed the {args.factor:g}x gate", file=sys.stderr)
         return 1

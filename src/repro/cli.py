@@ -135,6 +135,8 @@ def _parallel_overrides(runner, args: argparse.Namespace) -> Dict[str, Any]:
         overrides["jobs"] = args.jobs
     if "cache" in parameters:
         overrides["cache"] = _cli_cache(args)
+    if "backend" in parameters and getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     return overrides
 
 
@@ -203,6 +205,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=_cli_cache(args),
         progress=progress,
+        backend=args.backend,
     )
     if args.json:
         print(report.to_json())
@@ -533,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=("batch", "event"),
+        default=None,
+        help="simulation backend for experiments that support it "
+        "(batch = vectorized kernel, event = per-event reference engine)",
+    )
     _add_telemetry_flags(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
@@ -567,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    campaign_parser.add_argument(
+        "--backend",
+        choices=("batch", "event"),
+        default="event",
+        help="simulation backend for the campaign grid (batch = vectorized "
+        "kernel, event = per-event reference engine; default: event)",
     )
     campaign_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON results"

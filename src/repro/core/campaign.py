@@ -187,6 +187,52 @@ def _campaign_segment_worker(task: GridTask) -> List[float]:
     return [float(period) for period in trace.periods_ps()]
 
 
+def _campaign_segments_batch(
+    specs: Sequence[RingSpec],
+    rings: Sequence[Any],
+    lengths: Sequence[int],
+    spec_seeds: Sequence[Optional[int]],
+) -> List[List[float]]:
+    """All jitter segments in two vectorized kernel calls (one per family).
+
+    Segment boundaries and derived seeds are identical to the grid path,
+    so IRO segments (bit-exact kernel) reproduce the event-backend
+    campaign digits exactly; STR segments are statistically equivalent.
+    """
+    from repro.simulation.batch import (
+        IROBatchSpec,
+        STRBatchSpec,
+        simulate_iro_batch,
+        simulate_str_batch,
+    )
+
+    iro_specs: List[IROBatchSpec] = []
+    str_specs: List[STRBatchSpec] = []
+    slots: List[tuple] = []
+    for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
+        segment_seeds = spawn_seeds(spec_seed, len(lengths))
+        for length, segment_seed in zip(lengths, segment_seeds):
+            edge_count = 2 * (length + CAMPAIGN_WARMUP_PERIODS) + 1
+            if spec.kind == "iro":
+                slots.append(("iro", len(iro_specs)))
+                iro_specs.append(
+                    IROBatchSpec.from_ring(ring, edge_count=edge_count, seed=segment_seed)
+                )
+            else:
+                slots.append(("str", len(str_specs)))
+                str_specs.append(
+                    STRBatchSpec.from_ring(ring, edge_count=edge_count, seed=segment_seed)
+                )
+    iro_traces = simulate_iro_batch(iro_specs).traces if iro_specs else []
+    str_traces = simulate_str_batch(str_specs).traces if str_specs else []
+    segments: List[List[float]] = []
+    for family, index in slots:
+        trace = (iro_traces if family == "iro" else str_traces)[index]
+        trimmed = trace.skip_edges(2 * CAMPAIGN_WARMUP_PERIODS)
+        segments.append([float(period) for period in trimmed.periods_ps()])
+    return segments
+
+
 def _assemble_result(
     spec: RingSpec,
     ring,
@@ -225,6 +271,7 @@ def run_campaign(
     seed_mode: str = "spawn",
     segment_periods: int = DEFAULT_SEGMENT_PERIODS,
     progress: Optional[ProgressCallback] = None,
+    backend: str = "event",
 ) -> CampaignReport:
     """Characterize every spec over the bank and assemble the report.
 
@@ -240,9 +287,16 @@ def run_campaign(
     scheduling.  ``seed_mode="shared"`` (or a ``numpy.random.Generator``
     seed) selects the legacy serial path: one unsegmented simulation per
     spec, every spec reusing the root seed.
+
+    ``backend="batch"`` runs the very same segment/seed tree through the
+    vectorized kernels instead of worker processes (``jobs``/``cache``
+    are ignored): IRO rows stay bit-identical to the event path, STR
+    rows are statistically equivalent.
     """
     if not specs:
         raise ValueError("need at least one ring spec")
+    if backend not in ("event", "batch"):
+        raise ValueError(f"backend must be 'event' or 'batch', got {backend!r}")
     bank = bank if bank is not None else BoardBank.manufacture(board_count=5, seed=0)
     nominal_board = bank[0]
     with span(
@@ -264,6 +318,27 @@ def run_campaign(
         rings = [spec.build(nominal_board) for spec in specs]
         spec_seeds = spawn_seeds(seed, len(specs))
         lengths = _segment_lengths(jitter_periods, segment_periods)
+        if backend == "batch":
+            tele.set("segments", len(lengths) * len(specs))
+            segments = _campaign_segments_batch(specs, rings, lengths, spec_seeds)
+            results = []
+            for index, (spec, ring) in enumerate(zip(specs, rings)):
+                sweep = sweep_voltage(nominal_board, spec.build, voltages_v)
+                dispersion = measure_family_dispersion(bank, spec.build)
+                own = segments[index * len(lengths) : (index + 1) * len(lengths)]
+                periods = np.concatenate(
+                    [np.asarray(segment, dtype=float) for segment in own]
+                )
+                results.append(
+                    _assemble_result(spec, ring, sweep, dispersion, periods, q_target)
+                )
+            _log.info("campaign.complete", rings=len(results), path="batch")
+            return CampaignReport(
+                results=results,
+                voltages_v=[float(v) for v in voltages_v],
+                board_count=len(bank),
+                q_target=q_target,
+            )
         tasks: List[GridTask] = []
         for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
             segment_seeds = spawn_seeds(spec_seed, len(lengths))

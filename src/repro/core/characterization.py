@@ -261,6 +261,34 @@ class JitterMeasurementResult:
         return 1e6 / self.mean_period_ps
 
 
+def _jitter_from_trace(
+    ring: RingOscillator,
+    trace,
+    method: str,
+    seed: SeedLike,
+    divider: Optional[RippleDivider] = None,
+) -> JitterMeasurementResult:
+    """Apply the chosen jitter instrument to an already-simulated trace."""
+    mean_period = trace.mean_period_ps()
+    divider_reading = None
+    if method == "population":
+        sigma = trace.period_jitter_ps()
+    elif method == "direct":
+        sigma = measure_period_jitter_direct(trace, seed=seed).sigma_period_ps
+    else:
+        divider = divider if divider is not None else RippleDivider()
+        divider_reading = measure_period_jitter_divider(trace, divider=divider, seed=seed)
+        sigma = divider_reading.sigma_period_ps
+    return JitterMeasurementResult(
+        ring_name=ring.name,
+        stage_count=ring.stage_count,
+        sigma_period_ps=sigma,
+        mean_period_ps=mean_period,
+        method=method,
+        divider_reading=divider_reading,
+    )
+
+
 def measure_period_jitter(
     ring: RingOscillator,
     method: str = "divider",
@@ -268,6 +296,7 @@ def measure_period_jitter(
     seed: SeedLike = 0,
     divider: Optional[RippleDivider] = None,
     warmup_periods: int = 64,
+    backend: str = "event",
 ) -> JitterMeasurementResult:
     """Measure a ring's period jitter.
 
@@ -277,6 +306,10 @@ def measure_period_jitter(
       instrument error; ground truth);
     * ``"direct"`` — the naive scope reading (biased for ps jitter);
     * ``"divider"`` — the Fig. 10 on-chip divider method (the paper's).
+
+    ``backend`` selects the simulation engine (see
+    :meth:`~repro.rings.base.RingOscillator.simulate`); the instrument
+    chain on top of the trace is identical either way.
     """
     if method not in ("population", "direct", "divider"):
         raise ValueError(f"unknown method {method!r}")
@@ -284,26 +317,10 @@ def measure_period_jitter(
         # Process-varied rings settle slowly (weak restoring slopes near
         # the Charlie bottom); a generous warm-up keeps the start-up
         # transient out of the jitter statistics.
-        result = ring.simulate(period_count, seed=seed, warmup_periods=warmup_periods)
-        trace = result.trace
-        mean_period = trace.mean_period_ps()
-        divider_reading = None
-        if method == "population":
-            sigma = trace.period_jitter_ps()
-        elif method == "direct":
-            sigma = measure_period_jitter_direct(trace, seed=seed).sigma_period_ps
-        else:
-            divider = divider if divider is not None else RippleDivider()
-            divider_reading = measure_period_jitter_divider(trace, divider=divider, seed=seed)
-            sigma = divider_reading.sigma_period_ps
-        return JitterMeasurementResult(
-            ring_name=ring.name,
-            stage_count=ring.stage_count,
-            sigma_period_ps=sigma,
-            mean_period_ps=mean_period,
-            method=method,
-            divider_reading=divider_reading,
+        result = ring.simulate(
+            period_count, seed=seed, warmup_periods=warmup_periods, backend=backend
         )
+        return _jitter_from_trace(ring, result.trace, method, seed, divider)
 
 
 def _jitter_result_to_payload(result: JitterMeasurementResult) -> Dict[str, Any]:
@@ -343,6 +360,97 @@ def _jitter_point_worker(task: GridTask) -> Dict[str, Any]:
     return _jitter_result_to_payload(result)
 
 
+#: Replica fan-out of the batched STR jitter driver: one long run is
+#: split into this many independently seeded shorter runs so the batch
+#: kernel gets width to vectorize over.  Statistically equivalent for
+#: the population method (independent periods either way); capped so
+#: per-replica warm-up stays a minority of the simulated periods.
+STR_BATCH_REPLICAS = 8
+
+#: Warm-up discarded by every jitter campaign point (see
+#: :func:`measure_period_jitter`).
+_JITTER_WARMUP_PERIODS = 64
+
+
+def _jitter_versus_length_batch(
+    rings: Sequence[RingOscillator],
+    ring_family: str,
+    method: str,
+    period_count: int,
+    seeds: Sequence[Optional[int]],
+    divider: Optional[RippleDivider] = None,
+) -> List[JitterMeasurementResult]:
+    """Batched jitter-vs-length: one vectorized kernel call for all lengths.
+
+    IRO campaigns are bit-identical to the event path (single stream per
+    length, same derived seed).  STR campaigns with the ``population``
+    method split each length into :data:`STR_BATCH_REPLICAS` seed-derived
+    replicas and pool the period populations — statistically equivalent,
+    and what gives the wave kernel its batch width.  Other STR methods
+    need one contiguous trace and run a single replica per length.
+    """
+    from repro.simulation.batch import (
+        IROBatchSpec,
+        STRBatchSpec,
+        simulate_iro_batch,
+        simulate_str_batch,
+    )
+
+    warmup = _JITTER_WARMUP_PERIODS
+    if ring_family == "iro":
+        specs = [
+            IROBatchSpec.from_ring(
+                ring, edge_count=2 * (period_count + warmup) + 1, seed=point_seed
+            )
+            for ring, point_seed in zip(rings, seeds)
+        ]
+        result = simulate_iro_batch(specs)
+        return [
+            _jitter_from_trace(
+                ring, trace.skip_edges(2 * warmup), method, point_seed, divider
+            )
+            for ring, trace, point_seed in zip(rings, result.traces, seeds)
+        ]
+
+    replicas = 1
+    if method == "population":
+        replicas = max(1, min(STR_BATCH_REPLICAS, period_count // (2 * warmup)))
+    per_replica = -(-period_count // replicas)  # ceil division
+    specs = []
+    for ring, point_seed in zip(rings, seeds):
+        for child in spawn_seeds(point_seed, replicas):
+            specs.append(
+                STRBatchSpec.from_ring(
+                    ring,
+                    edge_count=2 * (per_replica + warmup) + 1,
+                    seed=child,
+                )
+            )
+    result = simulate_str_batch(specs)
+    measurements = []
+    for index, (ring, point_seed) in enumerate(zip(rings, seeds)):
+        traces = [
+            trace.skip_edges(2 * warmup)
+            for trace in result.traces[index * replicas : (index + 1) * replicas]
+        ]
+        if replicas == 1:
+            measurements.append(
+                _jitter_from_trace(ring, traces[0], method, point_seed, divider)
+            )
+            continue
+        pooled = np.concatenate([trace.periods_ps() for trace in traces])
+        measurements.append(
+            JitterMeasurementResult(
+                ring_name=ring.name,
+                stage_count=ring.stage_count,
+                sigma_period_ps=float(np.std(pooled, ddof=1)),
+                mean_period_ps=float(np.mean(pooled)),
+                method=method,
+            )
+        )
+    return measurements
+
+
 def jitter_versus_length(
     board: Board,
     lengths: Sequence[int],
@@ -353,20 +461,26 @@ def jitter_versus_length(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     seed_mode: str = "spawn",
+    backend: str = "event",
 ) -> List[JitterMeasurementResult]:
     """Period jitter as a function of ring length (Figs. 11 and 12).
 
-    One grid task per ring length, fanned out over ``jobs`` processes;
-    lengths get independent derived seeds (``seed_mode="shared"`` keeps
-    the legacy behaviour of reusing the root seed at every length).
+    ``backend="event"`` fans one grid task per ring length out over
+    ``jobs`` processes; lengths get independent derived seeds
+    (``seed_mode="shared"`` keeps the legacy behaviour of reusing the
+    root seed at every length).  ``backend="batch"`` advances every
+    length in one vectorized kernel call instead (``jobs``/``cache`` are
+    ignored — the kernel outruns the process pool by a wide margin).
     """
     from repro.rings.iro import InverterRingOscillator
     from repro.rings.str_ring import SelfTimedRing
 
     if ring_family not in ("iro", "str"):
         raise ValueError(f"ring_family must be 'iro' or 'str', got {ring_family!r}")
+    if backend not in ("event", "batch"):
+        raise ValueError(f"backend must be 'event' or 'batch', got {backend!r}")
     with span(
-        "jitter_versus_length", family=ring_family, lengths=len(lengths)
+        "jitter_versus_length", family=ring_family, lengths=len(lengths), backend=backend
     ):
         _log.info(
             "jitter_versus_length.start",
@@ -381,11 +495,23 @@ def jitter_versus_length(
             else:
                 rings.append(SelfTimedRing.on_board(board, length))
         if isinstance(seed, np.random.Generator):
+            # Legacy coupled-stream path: one shared generator, serial, event-only.
             return [
                 measure_period_jitter(ring, method=method, period_count=period_count, seed=seed)
                 for ring in rings
             ]
         seeds = _point_seeds(seed, len(rings), seed_mode)
+        if backend == "batch":
+            results = _jitter_versus_length_batch(
+                rings, ring_family, method, period_count, seeds
+            )
+            _log.info(
+                "jitter_versus_length.complete",
+                family=ring_family,
+                points=len(results),
+                backend=backend,
+            )
+            return results
         tasks = [
             GridTask(
                 kind="jitter_point",

@@ -97,8 +97,14 @@ class RingOscillator(abc.ABC):
         seed: SeedLike = None,
         modulation: Optional[DeterministicModulation] = None,
         warmup_periods: int = 16,
+        backend: str = "event",
     ) -> SimulationResult:
-        """Run the event-driven simulation for ``period_count`` periods."""
+        """Run the simulation for ``period_count`` periods.
+
+        ``backend="event"`` is the per-event reference engine;
+        ``backend="batch"`` routes through the vectorized kernel in
+        :mod:`repro.simulation.batch` where the configuration allows it.
+        """
 
     # ------------------------------------------------------------------
     # convenience measurements

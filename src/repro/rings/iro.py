@@ -160,12 +160,39 @@ class InverterRingOscillator(RingOscillator):
         seed: SeedLike = None,
         modulation: Optional[DeterministicModulation] = None,
         warmup_periods: int = 16,
+        backend: str = "event",
     ) -> SimulationResult:
-        """Exact event-driven run observed at the last ring stage."""
+        """Exact run observed at the last ring stage.
+
+        ``backend="batch"`` routes through the vectorized kernel in
+        :mod:`repro.simulation.batch` — bit-identical to the event
+        engine for any seed.  Time-varying modulations fall back to the
+        event path (counted in ``repro.batch.fallbacks``).
+        """
         if period_count < 1:
             raise ValueError(f"period_count must be positive, got {period_count}")
         if warmup_periods < 0:
             raise ValueError(f"warmup_periods must be non-negative, got {warmup_periods}")
+        if backend not in ("event", "batch"):
+            raise ValueError(f"backend must be 'event' or 'batch', got {backend!r}")
+        if backend == "batch":
+            from repro.simulation.batch import (
+                IROBatchSpec,
+                modulation_is_batchable,
+                simulate_iro_batch,
+            )
+
+            if modulation_is_batchable(modulation, "iro"):
+                needed_edges = 2 * (period_count + warmup_periods) + 1
+                spec = IROBatchSpec.from_ring(self, edge_count=needed_edges, seed=seed)
+                result = simulate_iro_batch([spec], modulation=modulation)
+                full_trace = result.traces[0]
+                return SimulationResult(
+                    trace=full_trace.skip_edges(2 * warmup_periods),
+                    warmup_trace=full_trace,
+                    events_processed=result.events_processed,
+                )
+            default_registry().counter("repro.batch.fallbacks").inc()
         rng = make_rng(seed)
         with span("simulate", ring=self.name, periods=period_count) as tele:
             process = _IROProcess(self, modulation, rng)

@@ -254,14 +254,37 @@ class SelfTimedRing(RingOscillator):
         modulation: Optional[DeterministicModulation] = None,
         warmup_periods: int = 16,
         output_stage: int = 0,
+        backend: str = "event",
     ) -> SimulationResult:
-        """Exact event-driven run observed at ``output_stage``."""
+        """Exact run observed at ``output_stage``.
+
+        ``backend="batch"`` routes through the vectorized wave kernel in
+        :mod:`repro.simulation.batch` — bit-identical to the event
+        engine for noiseless rings, statistically equivalent (same
+        model, different draw order) with jitter.
+        """
         if period_count < 1:
             raise ValueError(f"period_count must be positive, got {period_count}")
         if warmup_periods < 0:
             raise ValueError(f"warmup_periods must be non-negative, got {warmup_periods}")
         if not (0 <= output_stage < self.stage_count):
             raise ValueError(f"output stage {output_stage} outside ring of {self.stage_count}")
+        if backend not in ("event", "batch"):
+            raise ValueError(f"backend must be 'event' or 'batch', got {backend!r}")
+        if backend == "batch":
+            from repro.simulation.batch import STRBatchSpec, simulate_str_batch
+
+            needed_edges = 2 * (period_count + warmup_periods) + 1
+            spec = STRBatchSpec.from_ring(
+                self, edge_count=needed_edges, seed=seed, output_stage=output_stage
+            )
+            result = simulate_str_batch([spec], modulation=modulation)
+            full_trace = result.traces[0]
+            return SimulationResult(
+                trace=full_trace.skip_edges(2 * warmup_periods),
+                warmup_trace=full_trace,
+                events_processed=result.events_processed,
+            )
         rng = make_rng(seed)
         with span("simulate", ring=self.name, periods=period_count) as tele:
             process = _STRProcess(self, modulation, rng)

@@ -3,10 +3,21 @@
 This subpackage provides the generic machinery the ring models are built
 on: a heap-based event engine (:mod:`repro.simulation.engine`), transition
 records (:mod:`repro.simulation.events`), edge-trace analysis
-(:mod:`repro.simulation.waveform`) and the jitter/noise sources of the
-paper's Section IV (:mod:`repro.simulation.noise`).
+(:mod:`repro.simulation.waveform`), the jitter/noise sources of the
+paper's Section IV (:mod:`repro.simulation.noise`) and the vectorized
+batch kernel that advances whole populations of rings at once
+(:mod:`repro.simulation.batch`).
 """
 
+from repro.simulation.batch import (
+    BatchSimulationResult,
+    BatchUnsupported,
+    IROBatchSpec,
+    STRBatchSpec,
+    modulation_is_batchable,
+    simulate_iro_batch,
+    simulate_str_batch,
+)
 from repro.simulation.engine import Simulator, SimulationLimits, StopReason
 from repro.simulation.events import Transition, Edge
 from repro.simulation.noise import (
@@ -23,6 +34,13 @@ from repro.simulation.noise import (
 from repro.simulation.waveform import EdgeTrace, periods_from_edges, half_periods_from_edges
 
 __all__ = [
+    "BatchSimulationResult",
+    "BatchUnsupported",
+    "IROBatchSpec",
+    "STRBatchSpec",
+    "modulation_is_batchable",
+    "simulate_iro_batch",
+    "simulate_str_batch",
     "Simulator",
     "SimulationLimits",
     "StopReason",

@@ -23,7 +23,6 @@ reproducible.
 from __future__ import annotations
 
 import abc
-import math
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -169,7 +168,12 @@ class SinusoidalModulation(DeterministicModulation):
         self.phase_rad = float(phase_rad)
 
     def factor(self, time_ps: float) -> float:
-        return self.amplitude * math.sin(2.0 * math.pi * time_ps / self.period_ps + self.phase_rad)
+        # numpy's sin, not math.sin: libm and numpy round a few percent
+        # of inputs differently, and the scalar path must stay
+        # bit-identical to factor_array (used by the batch kernel).
+        return self.amplitude * float(
+            np.sin(2.0 * np.pi * time_ps / self.period_ps + self.phase_rad)
+        )
 
     def factor_array(self, times_ps: np.ndarray) -> np.ndarray:
         times = np.asarray(times_ps, dtype=float)

@@ -1,0 +1,165 @@
+"""The ``backend="batch"`` switch on rings, characterization and campaign.
+
+Mirrors ``tests/parallel/test_parallel_identity.py``: the event path is
+the oracle, and every consumer that grew a ``backend`` switch must
+either match it bit for bit (IRO, noiseless STR) or reproduce its
+physics within documented statistical bounds (noisy STR).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import RingSpec, run_campaign
+from repro.core.characterization import jitter_versus_length
+from repro.core.charlie import CharlieDiagram, CharlieParameters
+from repro.fpga.board import BoardBank
+from repro.rings.iro import InverterRingOscillator
+from repro.rings.str_ring import SelfTimedRing
+from repro.simulation.noise import ConstantModulation, SinusoidalModulation
+from repro.telemetry import default_registry
+
+
+def make_iro(stages=5, sigma=2.0):
+    rng = np.random.default_rng(42)
+    return InverterRingOscillator(
+        rng.uniform(150.0, 350.0, size=stages), jitter_sigmas_ps=sigma
+    )
+
+
+def make_str(stages=8, sigma=0.0):
+    diagram = CharlieDiagram(CharlieParameters.symmetric(250.0, 100.0))
+    return SelfTimedRing([diagram] * stages, stages // 2, jitter_sigmas_ps=sigma)
+
+
+class TestRingSimulateBackend:
+    def test_iro_batch_backend_bit_identical(self):
+        ring = make_iro()
+        event = ring.simulate(64, seed=7, warmup_periods=8)
+        batch = ring.simulate(64, seed=7, warmup_periods=8, backend="batch")
+        np.testing.assert_array_equal(
+            batch.trace.times_ps, event.trace.times_ps
+        )
+        np.testing.assert_array_equal(
+            batch.warmup_trace.times_ps, event.warmup_trace.times_ps
+        )
+        assert batch.period_count == event.period_count
+
+    def test_iro_batch_backend_with_constant_modulation(self):
+        ring = make_iro()
+        modulation = ConstantModulation(0.08)
+        event = ring.simulate(32, seed=3, modulation=modulation, warmup_periods=4)
+        batch = ring.simulate(
+            32, seed=3, modulation=modulation, warmup_periods=4, backend="batch"
+        )
+        np.testing.assert_array_equal(batch.trace.times_ps, event.trace.times_ps)
+
+    def test_iro_unbatchable_modulation_falls_back_to_event(self):
+        ring = make_iro()
+        modulation = SinusoidalModulation(0.05, 5000.0)
+        registry = default_registry()
+        assert registry.counter("repro.batch.fallbacks").value == 0
+        event = ring.simulate(24, seed=5, modulation=modulation, warmup_periods=4)
+        batch = ring.simulate(
+            24, seed=5, modulation=modulation, warmup_periods=4, backend="batch"
+        )
+        assert registry.counter("repro.batch.fallbacks").value == 1
+        # The fallback is the event engine itself: identical output.
+        np.testing.assert_array_equal(batch.trace.times_ps, event.trace.times_ps)
+
+    def test_str_noiseless_batch_backend_bit_identical(self):
+        ring = make_str()
+        event = ring.simulate(48, seed=11, warmup_periods=8)
+        batch = ring.simulate(48, seed=11, warmup_periods=8, backend="batch")
+        np.testing.assert_array_equal(batch.trace.times_ps, event.trace.times_ps)
+        np.testing.assert_array_equal(
+            batch.warmup_trace.times_ps, event.warmup_trace.times_ps
+        )
+
+    def test_str_noisy_batch_backend_statistically_equivalent(self):
+        ring = make_str(16, sigma=2.0)
+        event = ring.simulate(600, seed=2, warmup_periods=32)
+        batch = ring.simulate(600, seed=2, warmup_periods=32, backend="batch")
+        assert batch.trace.mean_period_ps() == pytest.approx(
+            event.trace.mean_period_ps(), rel=0.01
+        )
+        assert batch.trace.period_jitter_ps() == pytest.approx(
+            event.trace.period_jitter_ps(), rel=0.35
+        )
+
+    @pytest.mark.parametrize("ring_factory", [make_iro, make_str])
+    def test_invalid_backend_rejected(self, ring_factory):
+        with pytest.raises(ValueError, match="backend"):
+            ring_factory().simulate(8, seed=0, backend="gpu")
+
+
+class TestJitterVersusLengthBackend:
+    def test_iro_batch_rows_bit_identical(self, board):
+        lengths = (3, 5, 9)
+        event = jitter_versus_length(
+            board, lengths, "iro", period_count=400, seed=13, backend="event"
+        )
+        batch = jitter_versus_length(
+            board, lengths, "iro", period_count=400, seed=13, backend="batch"
+        )
+        for event_row, batch_row in zip(event, batch):
+            assert batch_row.stage_count == event_row.stage_count
+            assert batch_row.sigma_period_ps == event_row.sigma_period_ps
+            assert batch_row.mean_period_ps == event_row.mean_period_ps
+
+    def test_str_batch_rows_statistically_equivalent(self, board):
+        lengths = (8, 16)
+        event = jitter_versus_length(
+            board, lengths, "str", period_count=600, seed=17, backend="event"
+        )
+        batch = jitter_versus_length(
+            board, lengths, "str", period_count=600, seed=17, backend="batch"
+        )
+        for event_row, batch_row in zip(event, batch):
+            assert batch_row.stage_count == event_row.stage_count
+            assert batch_row.mean_period_ps == pytest.approx(
+                event_row.mean_period_ps, rel=0.01
+            )
+            assert batch_row.sigma_period_ps == pytest.approx(
+                event_row.sigma_period_ps, rel=0.35
+            )
+
+    def test_invalid_backend_rejected(self, board):
+        with pytest.raises(ValueError, match="backend"):
+            jitter_versus_length(board, (3,), "iro", backend="gpu")
+
+
+class TestCampaignBackend:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return BoardBank.manufacture(board_count=2, seed=7)
+
+    def test_iro_rows_bit_identical(self, bank):
+        specs = [RingSpec("iro", 5)]
+        event = run_campaign(
+            specs, bank=bank, jitter_periods=512, seed=3, backend="event"
+        )
+        batch = run_campaign(
+            specs, bank=bank, jitter_periods=512, seed=3, backend="batch"
+        )
+        event_row, batch_row = event.results[0], batch.results[0]
+        assert batch_row.period_jitter_ps == event_row.period_jitter_ps
+        assert batch_row.diffusion_sigma_ps == event_row.diffusion_sigma_ps
+        assert batch_row.trng_entropy_bound == event_row.trng_entropy_bound
+
+    def test_str_rows_statistically_equivalent(self, bank):
+        specs = [RingSpec("str", 16)]
+        event = run_campaign(
+            specs, bank=bank, jitter_periods=768, seed=3, backend="event"
+        )
+        batch = run_campaign(
+            specs, bank=bank, jitter_periods=768, seed=3, backend="batch"
+        )
+        event_row, batch_row = event.results[0], batch.results[0]
+        assert batch_row.nominal_frequency_mhz == event_row.nominal_frequency_mhz
+        assert batch_row.period_jitter_ps == pytest.approx(
+            event_row.period_jitter_ps, rel=0.35
+        )
+
+    def test_invalid_backend_rejected(self, bank):
+        with pytest.raises(ValueError, match="backend"):
+            run_campaign([RingSpec("iro", 5)], bank=bank, backend="gpu")

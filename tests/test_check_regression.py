@@ -1,0 +1,123 @@
+"""The benchmark regression gate script (``benchmarks/check_regression.py``).
+
+Loaded by file path — ``benchmarks/`` is a script directory, not a
+package.  The key behaviour under test is the untracked-benchmark rule:
+an export entry with no reference must fail the gate loudly instead of
+being waved through as informational.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def write_bench_json(path, means):
+    document = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(document))
+
+
+def write_reference(path, reference):
+    path.write_text(json.dumps(reference))
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return tmp_path / "bench.json", tmp_path / "reference.json"
+
+
+class TestCheck:
+    def test_within_factor_passes(self, capsys):
+        failures = check_regression.check(
+            {"bench_a": 1.5}, {"bench_a": 1.0}, factor=2.0
+        )
+        assert failures == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails(self, capsys):
+        failures = check_regression.check(
+            {"bench_a": 2.5}, {"bench_a": 1.0}, factor=2.0
+        )
+        assert failures == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_benchmark_fails(self, capsys):
+        failures = check_regression.check({}, {"bench_a": 1.0}, factor=2.0)
+        assert failures == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_untracked_benchmark_fails(self, capsys):
+        # The bug this pins down: an export entry with no reference used
+        # to print "untracked" and exit 0, so new benchmarks silently
+        # escaped the gate until someone remembered to register them.
+        failures = check_regression.check(
+            {"bench_a": 0.5, "bench_new": 0.1}, {"bench_a": 1.0}, factor=2.0
+        )
+        assert failures == 1
+        captured = capsys.readouterr()
+        assert "UNTRACKED" in captured.out
+        assert "bench_new" in captured.err
+
+    def test_untracked_benchmark_allowed_when_opted_in(self, capsys):
+        failures = check_regression.check(
+            {"bench_a": 0.5, "bench_new": 0.1},
+            {"bench_a": 1.0},
+            factor=2.0,
+            allow_untracked=True,
+        )
+        assert failures == 0
+        assert "untracked (allowed)" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_exit_zero_when_all_tracked_and_fast(self, paths):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 0.5})
+        write_reference(reference, {"bench_a": 1.0})
+        assert check_regression.main([str(bench), str(reference)]) == 0
+
+    def test_exit_nonzero_on_untracked(self, paths):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 0.5, "bench_new": 0.1})
+        write_reference(reference, {"bench_a": 1.0})
+        assert check_regression.main([str(bench), str(reference)]) == 1
+
+    def test_allow_untracked_flag(self, paths):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 0.5, "bench_new": 0.1})
+        write_reference(reference, {"bench_a": 1.0})
+        assert (
+            check_regression.main([str(bench), str(reference), "--allow-untracked"])
+            == 0
+        )
+
+    def test_factor_flag_widens_gate(self, paths):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 3.0})
+        write_reference(reference, {"bench_a": 1.0})
+        assert check_regression.main([str(bench), str(reference)]) == 1
+        assert (
+            check_regression.main([str(bench), str(reference), "--factor", "4.0"]) == 0
+        )
+
+    def test_every_committed_reference_name_is_a_real_benchmark(self):
+        # Guards the reference file against typos: every tracked name
+        # must correspond to a bench_* file in benchmarks/.
+        reference = json.loads(
+            (_SCRIPT.parent / "reference_timings.json").read_text()
+        )
+        stems = {path.stem for path in _SCRIPT.parent.glob("bench_*.py")}
+        for name in reference:
+            assert any(
+                stem == name or stem.startswith(name + "_") for stem in stems
+            ), f"reference entry {name!r} matches no benchmarks/bench_*.py"

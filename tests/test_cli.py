@@ -49,6 +49,42 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "[FIG4]" in output and "[FIG7]" in output
 
+    def test_run_backend_flag(self, capsys):
+        # FIG11 defaults to the batch backend; forcing either backend
+        # through the CLI must succeed and report passing checks.
+        assert main(["run", "FIG11", "--backend", "batch"]) == 0
+        assert "FIG11" in capsys.readouterr().out
+
+    def test_run_backend_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "FIG11", "--backend", "gpu"])
+
+    def test_campaign_backend_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "iro:3",
+                    "--periods",
+                    "256",
+                    "--boards",
+                    "2",
+                    "--backend",
+                    "batch",
+                ]
+            )
+            == 0
+        )
+        assert "IRO" in capsys.readouterr().out
+
+    def test_campaign_backend_matches_event_rows_for_iro(self, capsys):
+        args = ["campaign", "iro:3", "--periods", "256", "--boards", "2", "--json"]
+        assert main(args + ["--backend", "event"]) == 0
+        event = json.loads(capsys.readouterr().out)
+        assert main(args + ["--backend", "batch"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert batch == event
+
     def test_run_unknown_id(self):
         with pytest.raises(KeyError):
             main(["run", "FIG99"])
