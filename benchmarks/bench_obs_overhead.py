@@ -1,0 +1,112 @@
+"""Observability overhead: the exposition plane must not tax serving.
+
+Two guards around the PR's operational layer, mirroring the telemetry
+overhead gate:
+
+* ``bench_obs`` — a tracked benchmark (gated through
+  ``reference_timings.json``): a full publisher loop — registry
+  snapshot, window push, derived ``repro.obs.window.*`` gauges,
+  Prometheus render, parse round-trip — so a future change that makes
+  a publish tick expensive trips the CI regression gate;
+* ``test_obs_overhead_is_small`` — a direct A/B on a serving-shaped
+  workload (health-gated ``TrngPool.get_bytes`` plus request-path
+  counter/histogram writes): the same byte budget with a
+  :class:`MetricsPublisher` ticking every few slabs versus with no
+  publisher at all, asserting the exposition/windowing plane adds
+  less than 5%.  The tick cadence is still far denser than the
+  daemon's 1 Hz default, so the bound is conservative.
+
+Timing ratios on shared runners are noisy, so the A/B takes the best
+of several repetitions per side and allows a few attempts before
+failing.  The A/B is a plain test (no ``benchmark`` fixture) so
+``--benchmark-only`` runs skip it; CI invokes this file explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.campaign import RingSpec
+from repro.serve.pool import TrngPool
+from repro.serve.server import LATENCY_EDGES_S
+from repro.telemetry import (
+    MetricsPublisher,
+    MetricsRegistry,
+    SnapshotWindow,
+    parse_prometheus,
+    use_registry,
+)
+
+_SPECS = (RingSpec("iro", 5), RingSpec("str", 48))
+_SLAB_BYTES = 1024
+_SLABS = 48
+#: Publish every Nth slab.  The daemon ticks at 1 Hz against hundreds
+#: of grants per second; one tick per four 1 KiB slabs is still far
+#: denser than that, while keeping the A/B about representative cost
+#: rather than an artificial tick-per-request regime.
+_TICK_EVERY = 4
+
+
+def _serve_workload(publisher) -> None:
+    """A serving-shaped inner loop: gated bytes + request-path metrics."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        pool = TrngPool(_SPECS, seed=3)
+        for index in range(_SLABS):
+            pool.get_bytes(_SLAB_BYTES)
+            registry.counter("repro.serve.requests_ok").inc()
+            registry.counter("repro.serve.bytes_served").inc(_SLAB_BYTES)
+            registry.histogram(
+                "repro.serve.request_latency_s", LATENCY_EDGES_S
+            ).observe(0.003)
+            if publisher is not None and index % _TICK_EVERY == 0:
+                publisher.tick(float(index))
+
+
+def _publish_loop() -> None:
+    """One tracked unit: 200 ticks + renders over a busy registry."""
+    registry = MetricsRegistry()
+    for index in range(40):
+        registry.counter(f"repro.serve.counter_{index}").inc(index)
+        registry.gauge(f"repro.serve.gauge_{index}").set(index * 0.5)
+    histogram = registry.histogram("repro.serve.request_latency_s", LATENCY_EDGES_S)
+    publisher = MetricsPublisher(registry=registry, window=SnapshotWindow())
+    for tick in range(200):
+        registry.counter("repro.serve.bytes_served").inc(4096)
+        histogram.observe(0.001 * (tick % 7))
+        publisher.tick(float(tick))
+        if tick % 10 == 0:
+            parse_prometheus(publisher.render())
+
+
+def _best_of(repeats: int, publisher_factory) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        publisher = publisher_factory() if publisher_factory is not None else None
+        start = time.perf_counter()
+        _serve_workload(publisher)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_obs(benchmark):
+    benchmark.pedantic(_publish_loop, rounds=1, iterations=1)
+
+
+def test_obs_overhead_is_small():
+    _serve_workload(None)  # warm-up: imports, calibration caches
+    ratio = float("inf")
+    for _ in range(3):
+        baseline_s = _best_of(3, None)
+        published_s = _best_of(3, lambda: MetricsPublisher(window=SnapshotWindow()))
+        ratio = published_s / baseline_s
+        print(
+            f"\nno-publisher {baseline_s:.3f}s  publishing {published_s:.3f}s  "
+            f"ratio {ratio:.3f}"
+        )
+        if ratio < 1.05:
+            break
+    assert ratio < 1.05, (
+        f"the exposition/windowing plane adds {(ratio - 1):.1%} to the "
+        "serving path (must stay under 5%)"
+    )

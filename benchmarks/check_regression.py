@@ -19,6 +19,14 @@ laptop-precise baseline): the gate exists to catch order-of-magnitude
 mistakes — an accidentally quadratic loop, a serial path swallowing the
 pool — not 10% scheduler noise.  The allowed factor can be widened for a
 known-slow runner with ``--factor`` or ``REPRO_BENCH_FACTOR``.
+
+Below the hard gate sits a *soft* trajectory check: with ``--history``
+pointing at the rolling history (the JSONL from ``append_history.py``
+or the committed ``BENCH_history.json`` snapshot), a benchmark whose
+mean rose monotonically across the last three runs (history tail plus
+this export) by ``--drift-factor`` (default 1.3x) overall prints a
+``DRIFT WARNING`` in the job log — it never fails the gate, it makes
+the slow creep that 2x would eventually catch visible per-PR instead.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 def load_means(bench_json_path: str) -> Dict[str, float]:
@@ -82,6 +90,76 @@ def check(
     return failures
 
 
+def load_history_means(history_path: str) -> List[Dict[str, float]]:
+    """Per-run mean maps, oldest first, from either history format.
+
+    Accepts the rolling JSONL (one row object per line) *and* the
+    committed snapshot document (``{"rows": [...]}``) so the gate works
+    the same from a warm CI cache or a cold checkout.
+    """
+    with open(history_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rows: List[dict]
+    try:
+        # Snapshot document: the whole file is one JSON object with a
+        # "rows" key.  (A single-line JSONL also parses here but has no
+        # "rows" — fall through so the row is not silently dropped.)
+        document = json.loads(text)
+        if not (isinstance(document, dict) and "rows" in document):
+            raise json.JSONDecodeError("not a snapshot document", text, 0)
+        rows = document["rows"]
+    except json.JSONDecodeError:
+        # Rolling JSONL: one row object per line.
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [
+        {name: float(value) for name, value in row.get("means", {}).items()}
+        for row in rows
+    ]
+
+
+def drift_warnings(
+    history: List[Dict[str, float]],
+    current: Dict[str, float],
+    drift_factor: float,
+    runs: int = 3,
+) -> List[Tuple[str, List[float]]]:
+    """Benchmarks that rose monotonically over the last ``runs`` points.
+
+    The series under test is the history tail plus the current export;
+    a warning needs strict monotonic growth *and* an overall ratio of
+    at least ``drift_factor`` — three noisy-but-flat runs stay quiet.
+    """
+    warnings: List[Tuple[str, List[float]]] = []
+    for name in sorted(current):
+        series = [row[name] for row in history if name in row]
+        series = (series + [current[name]])[-runs:]
+        if len(series) < runs or series[0] <= 0:
+            continue
+        monotonic = all(later > earlier for earlier, later in zip(series, series[1:]))
+        if monotonic and series[-1] / series[0] >= drift_factor:
+            warnings.append((name, series))
+    return warnings
+
+
+def report_drift(
+    history: List[Dict[str, float]],
+    current: Dict[str, float],
+    drift_factor: float,
+) -> None:
+    warnings = drift_warnings(history, current, drift_factor)
+    for name, series in warnings:
+        trajectory = " -> ".join(f"{value:.3f}" for value in series)
+        print(
+            f"DRIFT WARNING: {name} rose monotonically over the last "
+            f"{len(series)} runs ({trajectory} s, "
+            f"{series[-1] / series[0]:.2f}x >= {drift_factor:g}x) — below the "
+            f"hard gate, but trending the wrong way",
+            file=sys.stderr,
+        )
+    if not warnings:
+        print(f"no monotonic drift >= {drift_factor:g}x over the trailing runs")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_json", help="pytest-benchmark --benchmark-json output")
@@ -98,6 +176,20 @@ def main(argv=None) -> int:
         help="tolerate benchmarks missing from the reference file "
         "(by default they fail the gate)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="rolling history (JSONL) or committed snapshot (JSON) for "
+        "the soft monotonic-drift warning",
+    )
+    parser.add_argument(
+        "--drift-factor",
+        type=float,
+        default=1.3,
+        help="overall growth across three monotonic runs that triggers "
+        "a DRIFT WARNING (default: 1.3; never fails the gate)",
+    )
     args = parser.parse_args(argv)
 
     current = load_means(args.bench_json)
@@ -105,6 +197,13 @@ def main(argv=None) -> int:
         reference = {name: float(value) for name, value in json.load(handle).items()}
 
     failures = check(current, reference, args.factor, allow_untracked=args.allow_untracked)
+    if args.history is not None:
+        try:
+            history = load_history_means(args.history)
+        except FileNotFoundError:
+            print(f"(no history at {args.history}; drift check skipped)")
+        else:
+            report_drift(history, current, args.drift_factor)
     if failures:
         print(f"\n{failures} benchmark(s) failed the {args.factor:g}x gate", file=sys.stderr)
         return 1

@@ -27,6 +27,9 @@ Commands
     supervised ring channels streaming health-gated bytes to concurrent
     clients; SIGTERM drains gracefully.  ``--fault`` injects a scenario
     at startup, ``--ready-file`` publishes the bound port for scripts.
+    ``--obs-port`` exposes Prometheus-text metrics on a sidecar port,
+    ``--obs-log`` appends JSONL snapshots for replay, and ``--drift``
+    arms the EWMA/CUSUM early-warning charts per channel.
 ``serve-load``
     Drive concurrent load against a running ``serve`` daemon and report
     latency percentiles, throughput and frame-integrity violations.
@@ -34,6 +37,11 @@ Commands
     Run the full in-process chaos drill (brownout + glitch storm under
     8 concurrent clients) and verdict the serving SLO; see
     docs/serving.md.
+``dash``
+    Live terminal dashboard over a running ``serve`` daemon: scrapes
+    the exposition port (``--port``) or tails a JSONL metrics log
+    (``--follow``) and renders pool health, per-channel state, SLO
+    gauges and drift sparklines.  ``--once`` prints a single frame.
 ``trace``
     Summarize a JSONL trace written with ``--trace`` into a span-tree
     timing report with event and metric totals.
@@ -436,8 +444,24 @@ def _command_serve(args: argparse.Namespace) -> int:
     pool = TrngPool(
         specs, config=PoolConfig(min_healthy=args.min_healthy), seed=args.seed
     )
+    if args.drift:
+        pool.attach_drift_monitors()
     scenario = _serve_scenario(args)
-    server = EntropyServer(pool, ServerConfig(host=args.host, port=args.port))
+    sidecar = None
+    if args.obs_port is not None or args.obs_log is not None:
+        from repro.serve.observability import ObservabilityConfig, ObservabilitySidecar
+
+        sidecar = ObservabilitySidecar(
+            ObservabilityConfig(
+                host=args.host,
+                port=args.obs_port if args.obs_port is not None else 0,
+                interval_s=args.obs_interval,
+                jsonl_path=args.obs_log,
+            )
+        )
+    server = EntropyServer(
+        pool, ServerConfig(host=args.host, port=args.port), observability=sidecar
+    )
 
     async def _serve() -> None:
         await server.start()
@@ -445,12 +469,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         if scenario is not None:
             pool.inject(scenario)
         if args.ready_file:
-            Path(args.ready_file).write_text(
-                json.dumps({"host": args.host, "port": server.port})
-            )
+            ready = {"host": args.host, "port": server.port}
+            if sidecar is not None:
+                ready["obs_port"] = sidecar.port
+            Path(args.ready_file).write_text(json.dumps(ready))
+        obs_note = (
+            f", metrics on :{sidecar.port}" if sidecar is not None else ""
+        )
         print(
-            f"serving {len(pool.channels)} channels on {args.host}:{server.port} "
-            f"(SIGTERM to drain)",
+            f"serving {len(pool.channels)} channels on {args.host}:{server.port}"
+            f"{obs_note} (SIGTERM to drain)",
             flush=True,
         )
         await server.wait_closed()
@@ -509,6 +537,34 @@ def _command_serve_chaos(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.slo_ok else 1
+
+
+def _command_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import Dashboard, DashboardError, JsonlSource, ScrapeSource
+
+    if (args.port is None) == (args.follow is None):
+        print(
+            "dash needs exactly one source: --port (scrape) or --follow FILE (tail)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.port is not None:
+        source = ScrapeSource(args.host, args.port)
+    else:
+        source = JsonlSource(args.follow)
+    dashboard = Dashboard(source, interval_s=args.interval)
+    if args.once:
+        try:
+            print(dashboard.render_once())
+        except DashboardError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        dashboard.run(iterations=args.frames)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -662,6 +718,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--onset", type=float, default=0.25, help="fault onset on the pool clock [s]"
     )
     serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose Prometheus-text metrics on this sidecar port "
+        "(0 = ephemeral; omit to disable the exposition endpoint)",
+    )
+    serve_parser.add_argument(
+        "--obs-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="metrics publish/window tick interval (default: 1s)",
+    )
+    serve_parser.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="FILE",
+        help="append JSONL metrics snapshots for offline replay "
+        "(readable by 'repro dash --follow')",
+    )
+    serve_parser.add_argument(
+        "--drift",
+        action="store_true",
+        help="attach EWMA/CUSUM drift charts to every pool channel "
+        "(pre-emptive quarantine on a chart crossing)",
+    )
     _add_telemetry_flags(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
@@ -704,6 +788,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve_chaos_parser.add_argument("--seed", type=int, default=1234)
     _add_telemetry_flags(serve_chaos_parser)
     serve_chaos_parser.set_defaults(handler=_command_serve_chaos)
+
+    dash_parser = subparsers.add_parser(
+        "dash",
+        help="live terminal dashboard for a running entropy server",
+        description="Render pool health, per-channel state, SLO gauges and "
+        "drift sparklines from a serve daemon's exposition port "
+        "(--port) or its JSONL metrics log (--follow).  Keys: q quits, "
+        "p pauses.",
+    )
+    dash_parser.add_argument("--host", default="127.0.0.1")
+    dash_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="exposition sidecar port of the serve daemon (--obs-port)",
+    )
+    dash_parser.add_argument(
+        "--follow",
+        default=None,
+        metavar="FILE",
+        help="tail a JSONL metrics log instead of scraping (--obs-log output)",
+    )
+    dash_parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh interval [s]"
+    )
+    dash_parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until q / Ctrl-C)",
+    )
+    dash_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame without ANSI clearing and exit",
+    )
+    dash_parser.set_defaults(handler=_command_dash)
 
     faults_parser = subparsers.add_parser(
         "faults", help="run a fault scenario against the supervised runtime"

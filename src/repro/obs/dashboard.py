@@ -1,0 +1,357 @@
+"""The ``repro dash`` live terminal dashboard.
+
+Renders a serving process's operational state — pool health,
+per-channel lifecycle, SLO gauges, drift charts — as a plain-ANSI
+frame, refreshed in place.  Two data sources, same rendering path:
+
+* :class:`ScrapeSource` — HTTP-GETs the exposition sidecar
+  (``repro serve --obs-port``) and parses the Prometheus text back
+  into a flat ``{metric: value}`` mapping;
+* :class:`JsonlSource` — tails the sidecar's JSONL replay log (or any
+  ``--trace`` file carrying ``metrics`` records), which makes the
+  dashboard work offline: ``repro dash --follow run.jsonl`` replays a
+  drill exactly as the live view would have shown it.
+
+Metric keys are normalized to the *sanitized* (Prometheus) spelling on
+both paths, so the panels don't care where the numbers came from.
+History for the sparklines (via :func:`repro.reporting.ascii_plot.sparkline`)
+is kept dashboard-side in bounded deques.
+
+Keys: ``q`` quits, ``p`` pauses/resumes sampling.  No curses — frames
+are repainted with a home-and-clear ANSI prefix, so the dashboard
+survives dumb terminals and CI logs (``--once`` prints a single frame
+and exits, which is also what the tests assert on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import select
+import socket
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.reporting.ascii_plot import sparkline
+from repro.telemetry import parse_prometheus, sanitize_metric_name
+from repro.telemetry.registry import MetricsSnapshot
+
+__all__ = [
+    "Dashboard",
+    "DashboardError",
+    "JsonlSource",
+    "ScrapeSource",
+    "flatten_snapshot",
+]
+
+_ANSI_HOME_CLEAR = "\x1b[H\x1b[2J"
+
+
+class DashboardError(RuntimeError):
+    """The dashboard could not obtain a sample."""
+
+
+def flatten_snapshot(snapshot: MetricsSnapshot) -> Dict[str, float]:
+    """A snapshot as flat sanitized ``{metric: value}`` (scrape-shaped).
+
+    Histograms contribute ``_sum``/``_count`` only — the panels read
+    quantiles from the published ``repro.obs.window.*`` gauges, which
+    carry the windowed figures the raw cumulative buckets cannot.
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.counters.items():
+        flat[sanitize_metric_name(name)] = float(value)
+    for name, value in snapshot.gauges.items():
+        flat[sanitize_metric_name(name)] = float(value)
+    for name, body in snapshot.histograms.items():
+        metric = sanitize_metric_name(name)
+        flat[f"{metric}_sum"] = float(body["sum"])
+        flat[f"{metric}_count"] = float(body["count"])
+    return flat
+
+
+# ----------------------------------------------------------------------
+# data sources
+# ----------------------------------------------------------------------
+class ScrapeSource:
+    """Pull one exposition scrape per sample from the sidecar port."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 2.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+
+    def describe(self) -> str:
+        return f"scrape http://{self.host}:{self.port}/metrics"
+
+    def sample(self) -> Dict[str, float]:
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            ) as conn:
+                conn.sendall(
+                    b"GET /metrics HTTP/1.0\r\n"
+                    b"Host: " + self.host.encode("ascii") + b"\r\n\r\n"
+                )
+                chunks: List[bytes] = []
+                conn.settimeout(self.timeout_s)
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except OSError as error:
+            raise DashboardError(
+                f"scrape of {self.host}:{self.port} failed: {error}"
+            ) from error
+        raw = b"".join(chunks)
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        text = (body if sep else raw).decode("utf-8", errors="replace")
+        samples = parse_prometheus(text)
+        return {sample.name: sample.value for sample in samples}
+
+
+class JsonlSource:
+    """Tail ``metrics`` records from a telemetry JSONL file.
+
+    Each :meth:`sample` re-reads from the last byte offset and returns
+    the newest complete ``metrics`` record seen so far — cheap enough
+    to poll, and deterministic over a finished replay log.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._latest: Optional[Dict[str, float]] = None
+        self._carry = b""
+
+    def describe(self) -> str:
+        return f"tail {self.path}"
+
+    def sample(self) -> Dict[str, float]:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+                self._offset = handle.tell()
+        except OSError as error:
+            raise DashboardError(f"cannot read {self.path}: {error}") from error
+        buffer = self._carry + data
+        lines = buffer.split(b"\n")
+        self._carry = lines.pop()  # incomplete trailing line (usually b"")
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("type") != "metrics" or "metrics" not in record:
+                continue
+            snapshot = MetricsSnapshot.from_dict(record["metrics"])
+            self._latest = flatten_snapshot(snapshot)
+        if self._latest is None:
+            raise DashboardError(f"no metrics records in {self.path} yet")
+        return self._latest
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+_POOL_STATES = {0.0: "healthy", 1.0: "quarantined", 2.0: "tripped"}
+
+#: (label, metric, format) rows of the SLO panel.
+_SLO_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("bytes/s (10s)", "repro_obs_window_bytes_per_s", "{:,.0f}"),
+    ("requests/s (10s)", "repro_obs_window_requests_per_s", "{:,.1f}"),
+    ("errors/s (10s)", "repro_obs_window_errors_per_s", "{:,.2f}"),
+    ("alarms/s (30s)", "repro_obs_window_alarms_per_s", "{:,.3f}"),
+    ("p50 latency (30s)", "repro_obs_window_p50_latency_s", "{:.4f} s"),
+    ("p99 latency (30s)", "repro_obs_window_p99_latency_s", "{:.4f} s"),
+)
+
+#: Metrics whose history feeds the sparkline column.
+_SPARK_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("bytes/s", "repro_obs_window_bytes_per_s"),
+    ("p99 lat", "repro_obs_window_p99_latency_s"),
+    ("alarms/s", "repro_obs_window_alarms_per_s"),
+    ("healthy", "repro_serve_pool_healthy"),
+)
+
+_CHANNEL_PREFIX = "repro_serve_pool_channel_"
+_DRIFT_SCORE_PREFIX = "repro_obs_drift_score_"
+_DRIFT_FLAG_PREFIX = "repro_obs_drift_drifting_"
+
+
+@dataclasses.dataclass
+class _History:
+    """Bounded per-metric history for sparklines."""
+
+    depth: int = 60
+    series: Dict[str, Deque[float]] = dataclasses.field(default_factory=dict)
+
+    def push(self, metrics: Dict[str, float], names: List[str]) -> None:
+        for name in names:
+            if name not in metrics:
+                continue
+            queue = self.series.setdefault(name, deque(maxlen=self.depth))
+            queue.append(metrics[name])
+
+    def values(self, name: str) -> List[float]:
+        return list(self.series.get(name, ()))
+
+
+class Dashboard:
+    """Render loop: pull a sample, paint a frame, repeat.
+
+    ``clock`` and ``sleep`` are injectable for tests; the public
+    surface is :meth:`render_frame` (pure string) and :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        source: Union[ScrapeSource, JsonlSource],
+        interval_s: float = 1.0,
+        width: int = 30,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError(f"refresh interval must be positive, got {interval_s}")
+        self.source = source
+        self.interval_s = float(interval_s)
+        self.width = int(width)
+        self._clock = clock
+        self.history = _History()
+        self.frames = 0
+        self.paused = False
+
+    # -- panel helpers --------------------------------------------------
+    def _channel_rows(self, metrics: Dict[str, float]) -> List[str]:
+        channels: Dict[str, Dict[str, float]] = {}
+        for name, value in metrics.items():
+            if not name.startswith(_CHANNEL_PREFIX):
+                continue
+            rest = name[len(_CHANNEL_PREFIX):]
+            for suffix in ("_state", "_flaps"):
+                if rest.endswith(suffix):
+                    channel = rest[: -len(suffix)]
+                    channels.setdefault(channel, {})[suffix[1:]] = value
+        rows: List[str] = []
+        for channel in sorted(channels):
+            fields = channels[channel]
+            state = _POOL_STATES.get(fields.get("state", -1.0), "?")
+            flaps = int(fields.get("flaps", 0))
+            drifting = metrics.get(f"{_DRIFT_FLAG_PREFIX}{channel}", 0.0) > 0.0
+            marker = " DRIFTING" if drifting else ""
+            rows.append(f"  {channel:<24} {state:<12} flaps={flaps}{marker}")
+        return rows or ["  (no per-channel gauges published)"]
+
+    def _drift_rows(self, metrics: Dict[str, float]) -> List[str]:
+        scores: List[Tuple[str, float]] = [
+            (name[len(_DRIFT_SCORE_PREFIX):], value)
+            for name, value in metrics.items()
+            if name.startswith(_DRIFT_SCORE_PREFIX)
+        ]
+        if not scores:
+            return ["  (no drift charts attached)"]
+        scores.sort(key=lambda item: -item[1])
+        rows = []
+        for name, value in scores[:6]:
+            history = self.history.values(_DRIFT_SCORE_PREFIX + name)
+            spark = sparkline(history, width=self.width, low=0.0)
+            rows.append(f"  {name:<34} {value:7.2f}  {spark}")
+        return rows
+
+    # -- frame ----------------------------------------------------------
+    def render_frame(self, metrics: Dict[str, float]) -> str:
+        """One full dashboard frame (no ANSI; the loop adds clearing)."""
+        spark_names = [name for _label, name in _SPARK_METRICS] + [
+            name for name in metrics if name.startswith(_DRIFT_SCORE_PREFIX)
+        ]
+        self.history.push(metrics, spark_names)
+        healthy = int(metrics.get("repro_serve_pool_healthy", 0))
+        quarantined = int(metrics.get("repro_serve_pool_quarantined", 0))
+        tripped = int(metrics.get("repro_serve_pool_tripped", 0))
+        brownout = metrics.get("repro_serve_pool_brownout", 0.0) > 0.0
+        clients = int(metrics.get("repro_serve_clients", 0))
+        lines: List[str] = []
+        lines.append("repro dash — entropy service")
+        lines.append(f"source: {self.source.describe()}   frame {self.frames}")
+        lines.append("")
+        banner = "BROWNOUT" if brownout else "nominal"
+        lines.append(
+            f"pool: {healthy} healthy / {quarantined} quarantined / "
+            f"{tripped} tripped   [{banner}]   clients={clients}"
+        )
+        lines.append("")
+        lines.append("channels:")
+        lines.extend(self._channel_rows(metrics))
+        lines.append("")
+        lines.append("SLO:")
+        for label, name, fmt in _SLO_ROWS:
+            value = metrics.get(name)
+            rendered = fmt.format(value) if value is not None else "—"
+            spark = sparkline(self.history.values(name), width=self.width)
+            lines.append(f"  {label:<18} {rendered:>12}  {spark}")
+        lines.append("")
+        lines.append("drift charts (worst scores, sigmas):")
+        lines.extend(self._drift_rows(metrics))
+        lines.append("")
+        signals = int(metrics.get("repro_obs_drift_signals", 0))
+        served = int(metrics.get("repro_serve_bytes_served", 0))
+        ok = int(metrics.get("repro_serve_requests_ok", 0))
+        errors = int(metrics.get("repro_serve_requests_error", 0))
+        lines.append(
+            f"totals: {served:,} bytes served, {ok:,} ok / {errors:,} error "
+            f"requests, {signals} drift signals"
+        )
+        lines.append("[q] quit   [p] pause")
+        self.frames += 1
+        return "\n".join(lines)
+
+    # -- loop -----------------------------------------------------------
+    def render_once(self) -> str:
+        """Sample once and return the frame (the ``--once`` path)."""
+        return self.render_frame(self.source.sample())
+
+    def _poll_key(self) -> Optional[str]:
+        if not sys.stdin.isatty():
+            return None
+        ready, _, _ = select.select([sys.stdin], [], [], 0.0)
+        if not ready:
+            return None
+        return sys.stdin.read(1)
+
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        out: Optional[TextIO] = None,
+    ) -> int:
+        """Refresh until ``q``, EOF on a replay file, or ``iterations``.
+
+        Returns the number of frames painted.
+        """
+        out = out if out is not None else sys.stdout
+        painted = 0
+        while iterations is None or painted < iterations:
+            key = self._poll_key()
+            if key == "q":
+                break
+            if key == "p":
+                self.paused = not self.paused
+            if not self.paused:
+                try:
+                    frame = self.render_once()
+                except DashboardError as error:
+                    frame = f"repro dash — waiting for data\n{error}"
+                out.write(_ANSI_HOME_CLEAR + frame + "\n")
+                out.flush()
+                painted += 1
+            if iterations is not None and painted >= iterations:
+                break
+            time.sleep(self.interval_s)
+        return painted

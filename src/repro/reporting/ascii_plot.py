@@ -14,6 +14,46 @@ import numpy as np
 
 _GLYPHS = "ox+*#@%&"
 
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """One-line unicode sparkline of ``values`` (newest rightmost).
+
+    ``width`` keeps only the trailing ``width`` values; ``low``/``high``
+    pin the scale (so side-by-side sparklines compare honestly) and
+    default to the data's own range.  Non-finite values render as a
+    space.  An empty input renders as an empty string.
+    """
+    data = [float(v) for v in values]
+    if width is not None:
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        data = data[-width:]
+    if not data:
+        return ""
+    finite = [v for v in data if np.isfinite(v)]
+    if not finite:
+        return " " * len(data)
+    lo = float(low) if low is not None else min(finite)
+    hi = float(high) if high is not None else max(finite)
+    if hi <= lo:
+        hi = lo + 1.0
+    cells: List[str] = []
+    for value in data:
+        if not np.isfinite(value):
+            cells.append(" ")
+            continue
+        fraction = (value - lo) / (hi - lo)
+        index = int(round(fraction * (len(_SPARK_LEVELS) - 1)))
+        cells.append(_SPARK_LEVELS[max(0, min(index, len(_SPARK_LEVELS) - 1))])
+    return "".join(cells)
+
 
 class AsciiPlot:
     """A character canvas with data-space plotting.

@@ -37,7 +37,7 @@ from repro.faults.library import GlitchBurstFault, VoltageBrownoutFault
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.pool import PoolConfig, TrngPool
 from repro.serve.server import EntropyServer, ServerConfig
-from repro.telemetry import get_logger
+from repro.telemetry import get_logger, span
 
 _LOGGER = get_logger("repro.serve.chaos")
 
@@ -173,37 +173,50 @@ async def run_chaos(
         seed=seed,
     )
     server = EntropyServer(pool, ServerConfig())
-    await server.start()
-    assert server.port is not None
-    host = server.config.host
-    try:
-        _LOGGER.info("chaos warmup", clients=2)
-        warmup = await run_load(
-            host,
-            server.port,
-            clients=2,
-            requests_per_client=2,
-            request_bytes=request_bytes,
-        )
-        pool.inject(scenario if scenario is not None else default_chaos_scenario())
-        _LOGGER.info("chaos storm", clients=clients)
-        storm = await run_load(
-            host,
-            server.port,
-            clients=clients,
-            requests_per_client=requests_per_client,
-            request_bytes=request_bytes,
-        )
-    finally:
-        server.request_shutdown()
+    # The drill phases land on the trace timeline as a span tree
+    # (chaos_drill > warmup/storm/drain) so ``repro trace summarize``
+    # rolls a recorded drill up into a phase-timing report.
+    with span(
+        "chaos_drill",
+        clients=clients,
+        requests_per_client=requests_per_client,
+        request_bytes=request_bytes,
+    ) as drill:
+        await server.start()
+        assert server.port is not None
+        host = server.config.host
         try:
-            await asyncio.wait_for(
-                server.wait_closed(),
-                timeout=server.config.drain_timeout_s + 2.0,
-            )
-            drained_cleanly = True
-        except asyncio.TimeoutError:
-            drained_cleanly = False
+            _LOGGER.info("chaos warmup", clients=2)
+            with span("warmup", clients=2):
+                warmup = await run_load(
+                    host,
+                    server.port,
+                    clients=2,
+                    requests_per_client=2,
+                    request_bytes=request_bytes,
+                )
+            pool.inject(scenario if scenario is not None else default_chaos_scenario())
+            _LOGGER.info("chaos storm", clients=clients)
+            with span("storm", clients=clients):
+                storm = await run_load(
+                    host,
+                    server.port,
+                    clients=clients,
+                    requests_per_client=requests_per_client,
+                    request_bytes=request_bytes,
+                )
+        finally:
+            with span("drain"):
+                server.request_shutdown()
+                try:
+                    await asyncio.wait_for(
+                        server.wait_closed(),
+                        timeout=server.config.drain_timeout_s + 2.0,
+                    )
+                    drained_cleanly = True
+                except asyncio.TimeoutError:
+                    drained_cleanly = False
+        drill.set("drained_cleanly", drained_cleanly)
     drained = tuple(
         channel.name for channel in pool.channels if channel.flap_count > 0
     )

@@ -1,0 +1,161 @@
+"""The exposition sidecar: scrape endpoint + periodic publisher task.
+
+The :class:`EntropyServer` serves entropy on its main port; this
+sidecar makes the same process *observable*:
+
+* a tiny HTTP/1.0 responder on a second TCP port answers every ``GET``
+  with the latest Prometheus text exposition
+  (:func:`repro.telemetry.exposition.render_prometheus`) — enough for
+  ``curl``, a real Prometheus scraper, or ``repro dash``;
+* an asyncio task ticks a
+  :class:`~repro.telemetry.exposition.MetricsPublisher` every
+  ``interval_s``: registry snapshot → ring-buffer window → derived
+  ``repro.obs.window.*`` gauges → optional JSONL replay record.
+
+The sidecar deliberately speaks minimal HTTP (status line, three
+headers, body, close) rather than pulling in an HTTP framework — the
+no-new-dependencies rule is a feature here: the exposition format is
+line-oriented text precisely so that a scrape endpoint can be this
+small.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Optional
+
+from repro.telemetry import MetricsPublisher, get_logger
+
+_LOGGER = get_logger("repro.serve.observability")
+
+#: Limit on the scrape request head (request line + headers) we will
+#: buffer before answering — a scraper has no business sending more.
+_MAX_REQUEST_HEAD = 8192
+
+
+@dataclasses.dataclass(frozen=True)
+class ObservabilityConfig:
+    """Sidecar tuning."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is on sidecar.port)
+    interval_s: float = 1.0
+    jsonl_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0.0:
+            raise ValueError(f"publish interval must be positive, got {self.interval_s}")
+
+
+class ObservabilitySidecar:
+    """Scrape port + publisher loop for one serving process.
+
+    The sidecar owns the schedule and the wall clock; the publisher
+    stays clockless so drills and tests can tick it deterministically
+    (see :class:`~repro.telemetry.exposition.MetricsPublisher`).
+    """
+
+    def __init__(
+        self,
+        config: ObservabilityConfig = ObservabilityConfig(),
+        publisher: Optional[MetricsPublisher] = None,
+    ) -> None:
+        self._config = config
+        self.publisher = (
+            publisher
+            if publisher is not None
+            else MetricsPublisher(jsonl_path=config.jsonl_path)
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._publish_task: Optional[asyncio.Task] = None
+        self.port: Optional[int] = None
+        self.scrapes = 0
+
+    @property
+    def config(self) -> ObservabilityConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the scrape port and start the publish loop."""
+        self._server = await asyncio.start_server(
+            self._on_scrape,
+            host=self._config.host,
+            port=self._config.port,
+            limit=_MAX_REQUEST_HEAD,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._publish_task = asyncio.get_running_loop().create_task(
+            self._publish_loop()
+        )
+        _LOGGER.info(
+            "observability sidecar listening",
+            host=self._config.host,
+            port=self.port,
+            interval_s=self._config.interval_s,
+        )
+
+    async def stop(self) -> None:
+        """Stop scraping and publishing; flush and close the JSONL log."""
+        if self._publish_task is not None:
+            self._publish_task.cancel()
+            try:
+                await self._publish_task
+            except asyncio.CancelledError:
+                pass
+            self._publish_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # One final tick so the replay log carries the end-of-life state.
+        self.publisher.tick(time.monotonic())
+        self.publisher.close()
+
+    # ------------------------------------------------------------------
+    # the loops
+    # ------------------------------------------------------------------
+    async def _publish_loop(self) -> None:
+        while True:
+            self.publisher.tick(time.monotonic())
+            await asyncio.sleep(self._config.interval_s)
+
+    async def _on_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one scrape: read the request head, send the exposition."""
+        try:
+            try:
+                await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0
+                )
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+            ):
+                # A bare-TCP scraper (or a disconnect) still gets the
+                # body — the exposition is the only thing we serve.
+                pass
+            body = self.publisher.render().encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n"
+                b"\r\n" + body
+            )
+            await writer.drain()
+            self.scrapes += 1
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

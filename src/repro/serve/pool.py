@@ -176,7 +176,46 @@ class TrngPool:
         self._scenario_epoch_s = 0.0
         self.bytes_emitted = 0
         self._idle_tick_s = max(channel.block_period_s for channel in self.channels)
+        self._drift_monitors: Dict[str, Any] = {}
+        self._drift_quarantine = False
         self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # drift plane
+    # ------------------------------------------------------------------
+    def attach_drift_monitors(
+        self,
+        statistics: Optional[Sequence[Any]] = None,
+        preemptive_quarantine: bool = True,
+    ) -> None:
+        """Run ``repro.obs`` drift charts over every channel's blocks.
+
+        Each served block (alarmed or not) feeds the channel's
+        :class:`~repro.obs.drift.ChannelDriftMonitor`; when
+        ``preemptive_quarantine`` is set, a chart crossing quarantines
+        the channel through the ordinary ladder *before* the AIS-31
+        tests would have tripped — the block that raised the signal is
+        discarded, never emitted.  Timestamps ride the pool's
+        deterministic clock, so drift drills replay exactly.
+        """
+        from repro.obs.drift import DEFAULT_STATISTICS, ChannelDriftMonitor
+
+        stats = DEFAULT_STATISTICS if statistics is None else tuple(statistics)
+        self._drift_monitors = {
+            channel.name: ChannelDriftMonitor(channel.name, stats)
+            for channel in self.channels
+        }
+        self._drift_quarantine = bool(preemptive_quarantine)
+
+    def drift_monitor(self, channel_name: str) -> Optional[Any]:
+        """The attached monitor for ``channel_name`` (None when absent)."""
+        return self._drift_monitors.get(channel_name)
+
+    def _drift_observe(self, channel: "PoolChannel", bits: Any, alarm_count: int):
+        monitor = self._drift_monitors.get(channel.name)
+        if monitor is None:
+            return []
+        return monitor.observe_block(bits, self._time_s, alarm_count)
 
     # ------------------------------------------------------------------
     # introspection
@@ -267,6 +306,12 @@ class TrngPool:
         registry.counter("repro.serve.pool.events").inc()
         registry.counter(f"repro.serve.pool.{kind}").inc()
 
+    _CHANNEL_STATE_CODES = {
+        ChannelState.HEALTHY: 0.0,
+        ChannelState.QUARANTINED: 1.0,
+        ChannelState.TRIPPED: 2.0,
+    }
+
     def _update_gauges(self) -> None:
         registry = default_registry()
         registry.gauge("repro.serve.pool.healthy").set(self.healthy_count)
@@ -277,6 +322,14 @@ class TrngPool:
             len(self.channels_in(ChannelState.TRIPPED))
         )
         registry.gauge("repro.serve.pool.brownout").set(1.0 if self.brownout else 0.0)
+        # Per-channel state/flap gauges: the dashboard's channel panel.
+        # Codes: 0 healthy, 1 quarantined, 2 tripped (circuit open).
+        for channel in self.channels:
+            prefix = f"repro.serve.pool.channel.{channel.name}"
+            registry.gauge(f"{prefix}.state").set(
+                self._CHANNEL_STATE_CODES[channel.state]
+            )
+            registry.gauge(f"{prefix}.flaps").set(channel.flap_count)
 
     def _record(
         self, channel: PoolChannel, purpose: str, status: str, alarms: int, emitted: bool
@@ -311,6 +364,9 @@ class TrngPool:
         state_from = channel.state.value
         channel.flap_count += 1
         channel.monitor.reset()
+        drift = self._drift_monitors.get(channel.name)
+        if drift is not None:
+            drift.reset()
         if channel.flap_count > self._config.max_flaps:
             channel.state = ChannelState.TRIPPED
             self._log(
@@ -399,11 +455,26 @@ class TrngPool:
             channel = healthy[(self._rr_offset + step) % len(healthy)]
             bits, status = self._sample(channel)
             alarms = channel.monitor.ingest(bits)
+            signals = self._drift_observe(channel, bits, len(alarms))
             if alarms:
                 self._record(channel, "serve", status, len(alarms), False)
                 tests = ",".join(sorted({alarm.test_name for alarm in alarms}))
                 self._quarantine(channel, reason=f"tests={tests} status={status}")
                 default_registry().counter("repro.serve.pool.alarms").inc(len(alarms))
+                continue
+            if signals and self._drift_quarantine:
+                # Pre-emptive quarantine: the charts flagged a drift the
+                # health tests have not (yet) tripped on.  Discard the
+                # block — a drifting channel's bytes are not worth the
+                # doubt — and walk on to the next healthy channel.
+                self._record(channel, "serve", status, 0, False)
+                reasons = ",".join(
+                    sorted({f"{s.statistic}/{s.detector}" for s in signals})
+                )
+                self._quarantine(channel, reason=f"drift:{reasons}")
+                default_registry().counter(
+                    "repro.serve.pool.drift_quarantines"
+                ).inc()
                 continue
             self._record(channel, "serve", status, 0, True)
             self._rr_offset = (self._rr_offset + step + 1) % max(len(healthy), 1)

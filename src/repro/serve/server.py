@@ -135,11 +135,23 @@ class _Session:
 
 
 class EntropyServer:
-    """Serve health-gated random bytes from a pool (see module docstring)."""
+    """Serve health-gated random bytes from a pool (see module docstring).
 
-    def __init__(self, pool: TrngPool, config: ServerConfig = ServerConfig()) -> None:
+    ``observability`` attaches an
+    :class:`~repro.serve.observability.ObservabilitySidecar`: its scrape
+    port and publisher task share the server's lifecycle (started with
+    :meth:`start`, stopped at the end of the drain).
+    """
+
+    def __init__(
+        self,
+        pool: TrngPool,
+        config: ServerConfig = ServerConfig(),
+        observability: Optional[Any] = None,
+    ) -> None:
         self._pool = pool
         self._config = config
+        self.observability = observability
         self._server: Optional[asyncio.base_events.Server] = None
         self._sessions: Set[_Session] = set()
         self._pool_lock = asyncio.Lock()
@@ -177,6 +189,8 @@ class EntropyServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self.observability is not None:
+            await self.observability.start()
         _LOGGER.info(
             "entropy server listening", host=self._config.host, port=self.port
         )
@@ -230,6 +244,8 @@ class EntropyServer:
             if session.reader_task is not None:
                 session.reader_task.cancel()
         self._sessions.clear()
+        if self.observability is not None:
+            await self.observability.stop()
         self._drained.set()
         _LOGGER.info(
             "drain complete",

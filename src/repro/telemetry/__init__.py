@@ -30,6 +30,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.telemetry.exposition import (
+    SERVE_WINDOW_RULES,
+    MetricsPublisher,
+    Sample,
+    WindowRule,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.telemetry.logs import StructuredLogger, get_logger, set_stderr_level
 from repro.telemetry.registry import (
     DEFAULT_TIME_EDGES_S,
@@ -67,6 +76,7 @@ from repro.telemetry.tracing import (
     span,
     use_clock,
 )
+from repro.telemetry.windows import SnapshotWindow, WindowedHistogram
 
 
 @contextmanager
@@ -89,19 +99,25 @@ __all__ = [
     "NOOP_REGISTRY",
     "NULL_SINK",
     "NULL_SPAN",
+    "SERVE_WINDOW_RULES",
     "Clock",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsPublisher",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NoopMetricsRegistry",
     "NullSink",
+    "Sample",
+    "SnapshotWindow",
     "Span",
     "StructuredLogger",
     "TelemetrySink",
+    "WindowRule",
+    "WindowedHistogram",
     "all_disabled",
     "current_span_id",
     "default_registry",
@@ -110,6 +126,9 @@ __all__ = [
     "emit_raw",
     "get_logger",
     "get_sink",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
     "set_clock",
     "set_default_registry",
     "set_sink",

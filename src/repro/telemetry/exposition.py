@@ -1,0 +1,286 @@
+"""Metrics exposition: Prometheus text rendering and the publisher.
+
+Turns the in-process registry into something an operator can *watch*:
+
+* :func:`render_prometheus` serializes a
+  :class:`~repro.telemetry.registry.MetricsSnapshot` into Prometheus
+  text exposition format (version 0.0.4): counters and gauges as plain
+  samples, histograms as cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count``.  Names are sanitized (``repro.serve.clients`` →
+  ``repro_serve_clients``) so any Prometheus-compatible scraper parses
+  the output directly;
+* :func:`parse_prometheus` is the tiny inverse used by the dashboard
+  and the CI scrape check — enough to read our own exposition back,
+  not a general parser;
+* :class:`MetricsPublisher` is the periodic snapshot pump: each
+  ``tick(now_s)`` snapshots the registry, pushes it into a
+  :class:`~repro.telemetry.windows.SnapshotWindow`, derives windowed
+  gauges (``repro.obs.window.*`` — bytes/sec, p99-over-30s, ...) back
+  into the registry, and optionally appends a JSONL ``metrics`` record
+  for offline replay (the dashboard can tail that file instead of
+  scraping).  The publisher is transport-agnostic and clockless —
+  the serve sidecar (:mod:`repro.serve.observability`) owns the loop
+  and the TCP port.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+)
+from repro.telemetry.windows import SnapshotWindow
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar.
+
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — every invalid character becomes an
+    underscore, and a leading digit gets one prepended.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample value: integers without a trailing ``.0``."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_le(edge: float) -> str:
+    """Bucket boundary for the ``le`` label (Prometheus style)."""
+    return _format_value(edge)
+
+
+def render_prometheus(
+    snapshot: MetricsSnapshot, timestamp_ms: Optional[int] = None
+) -> str:
+    """Prometheus text exposition (0.0.4) of one registry snapshot.
+
+    Families are emitted in sorted name order with a ``# TYPE`` line
+    each; histograms expand into cumulative buckets with an explicit
+    ``+Inf`` bound.  ``timestamp_ms`` (milliseconds since epoch) is
+    appended to every sample when given.
+    """
+    suffix = f" {int(timestamp_ms)}" if timestamp_ms is not None else ""
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot.counters[name]}{suffix}")
+    for name in sorted(snapshot.gauges):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot.gauges[name])}{suffix}")
+    for name in sorted(snapshot.histograms):
+        body = snapshot.histograms[name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(body["edges"], body["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(float(edge))}"}} '
+                f"{cumulative}{suffix}"
+            )
+        total_count = int(body["count"])
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {total_count}{suffix}')
+        lines.append(f"{metric}_sum {_format_value(float(body['sum']))}{suffix}")
+        lines.append(f"{metric}_count {total_count}{suffix}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One parsed exposition sample."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> List[Sample]:
+    """Parse exposition text back into samples (types are ignored).
+
+    Raises :class:`ValueError` on a line that is neither a comment,
+    blank, nor a well-formed sample — the CI scrape check leans on
+    this to call an endpoint's output malformed.
+    """
+    samples: List[Sample] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if match.group("labels"):
+            labels = tuple(
+                (key, value.replace('\\"', '"'))
+                for key, value in _LABEL.findall(match.group("labels"))
+            )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: non-numeric sample value {line!r}"
+            ) from None
+        samples.append(Sample(name=match.group("name"), labels=labels, value=value))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# windowed derivation rules
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class WindowRule:
+    """One derived gauge computed from the snapshot window each tick.
+
+    ``kind`` selects the computation:
+
+    * ``"rate"`` — counter increase per second over ``window_s``;
+    * ``"quantile"`` — histogram quantile ``q`` over ``window_s``;
+    * ``"hist_rate"`` — histogram observations per second.
+    """
+
+    kind: str
+    source: str
+    output: str
+    window_s: float = 30.0
+    q: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rate", "quantile", "hist_rate"):
+            raise ValueError(f"unknown window rule kind {self.kind!r}")
+        if self.window_s <= 0.0:
+            raise ValueError(f"window must be positive, got {self.window_s}")
+        if not (0.0 <= self.q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {self.q}")
+
+    def evaluate(self, window: SnapshotWindow) -> Optional[float]:
+        if self.kind == "rate":
+            return window.rate(self.source, self.window_s)
+        if self.kind == "hist_rate":
+            return window.histogram_rate(self.source, self.window_s)
+        return window.histogram_quantile(self.source, self.q, self.window_s)
+
+
+#: The serve runtime's SLO panel: throughput, latency quantiles over the
+#: last 30 s, request and alarm rates over the last 10/30 s.
+SERVE_WINDOW_RULES: Tuple[WindowRule, ...] = (
+    WindowRule("rate", "repro.serve.bytes_served", "repro.obs.window.bytes_per_s", 10.0),
+    WindowRule("rate", "repro.serve.requests_ok", "repro.obs.window.requests_per_s", 10.0),
+    WindowRule("rate", "repro.serve.requests_error", "repro.obs.window.errors_per_s", 10.0),
+    WindowRule("rate", "repro.serve.pool.alarms", "repro.obs.window.alarms_per_s", 30.0),
+    WindowRule(
+        "quantile",
+        "repro.serve.request_latency_s",
+        "repro.obs.window.p50_latency_s",
+        30.0,
+        q=0.50,
+    ),
+    WindowRule(
+        "quantile",
+        "repro.serve.request_latency_s",
+        "repro.obs.window.p99_latency_s",
+        30.0,
+        q=0.99,
+    ),
+)
+
+
+class MetricsPublisher:
+    """Periodic snapshot pump: window, derived gauges, JSONL replay log.
+
+    One ``tick(now_s)`` performs the whole publish step; the caller
+    (serve sidecar, test, drill) owns the schedule and the clock, so
+    a deterministic drill can tick on the pool clock while the daemon
+    ticks on wall time.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        window: Optional[SnapshotWindow] = None,
+        rules: Sequence[WindowRule] = SERVE_WINDOW_RULES,
+        jsonl_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self._registry = registry
+        self.window = window if window is not None else SnapshotWindow()
+        self.rules = tuple(rules)
+        self.ticks = 0
+        self.latest_published: Optional[MetricsSnapshot] = None
+        self._handle: Optional[IO[str]] = None
+        self.jsonl_path: Optional[str] = None
+        if jsonl_path is not None:
+            self.jsonl_path = str(jsonl_path)
+            self._handle = open(jsonl_path, "a", encoding="utf-8")
+
+    def _resolve_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else default_registry()
+
+    def tick(self, now_s: float) -> MetricsSnapshot:
+        """Publish once: snapshot → window → derived gauges → JSONL."""
+        registry = self._resolve_registry()
+        snapshot = registry.snapshot()
+        self.window.push(snapshot, now_s)
+        for rule in self.rules:
+            value = rule.evaluate(self.window)
+            if value is not None:
+                registry.gauge(rule.output).set(value)
+        # Re-snapshot so the exposition and the JSONL record include the
+        # gauges derived moments ago.
+        published = registry.snapshot()
+        self.latest_published = published
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(
+                    {"type": "metrics", "t_s": now_s, "metrics": published.to_dict()},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            self._handle.flush()
+        self.ticks += 1
+        return published
+
+    def render(self) -> str:
+        """Prometheus text of the most recently published snapshot.
+
+        Before the first tick this renders a live registry snapshot, so
+        a scrape racing the publisher still gets well-formed output.
+        """
+        latest = self.latest_published
+        if latest is None:
+            latest = self._resolve_registry().snapshot()
+        return render_prometheus(latest)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

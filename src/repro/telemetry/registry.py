@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import itertools
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
@@ -75,17 +76,32 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
-class Gauge:
-    """A last-write-wins float metric."""
+#: Process-wide write sequence shared by every gauge.  Each ``set()``
+#: takes the next value, so "last write" is a total order *within* a
+#: process and snapshot merges can resolve gauge conflicts by sequence
+#: instead of by the (scheduler-dependent) order the merges happen in.
+_GAUGE_SEQ = itertools.count(1)
 
-    __slots__ = ("name", "value")
+
+class Gauge:
+    """A last-write-wins float metric.
+
+    Every write is stamped with a process-wide monotonic sequence
+    number; merges keep the write with the highest ``(seq, value)``
+    pair, which makes worker-snapshot merging deterministic regardless
+    of completion order (see :meth:`MetricsRegistry.merge`).
+    """
+
+    __slots__ = ("name", "value", "seq")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self.seq = 0  # 0 = never written
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self.seq = next(_GAUGE_SEQ)
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -140,9 +156,14 @@ class MetricsSnapshot:
     counters: Dict[str, int] = dataclasses.field(default_factory=dict)
     gauges: Dict[str, float] = dataclasses.field(default_factory=dict)
     histograms: Dict[str, Dict[str, Any]] = dataclasses.field(default_factory=dict)
+    #: Write-sequence stamps for gauges (see :class:`Gauge`); a gauge
+    #: absent from this mapping carries sequence 0.  Hand-built
+    #: snapshots may omit it entirely — merge then falls back to the
+    #: value itself as the tie-breaker, which is still deterministic.
+    gauge_seqs: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {
@@ -155,6 +176,9 @@ class MetricsSnapshot:
                 for name, body in self.histograms.items()
             },
         }
+        if self.gauge_seqs:
+            payload["gauge_seqs"] = dict(self.gauge_seqs)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "MetricsSnapshot":
@@ -169,6 +193,9 @@ class MetricsSnapshot:
                     "count": int(body["count"]),
                 }
                 for name, body in payload.get("histograms", {}).items()
+            },
+            gauge_seqs={
+                str(k): int(v) for k, v in payload.get("gauge_seqs", {}).items()
             },
         )
 
@@ -251,19 +278,33 @@ class MetricsRegistry:
                 }
                 for name, h in self._histograms.items()
             },
+            gauge_seqs={
+                name: g.seq for name, g in self._gauges.items() if g.seq
+            },
         )
 
     def merge(self, snapshot: MetricsSnapshot) -> None:
         """Fold a snapshot (e.g. from a pool worker) into this registry.
 
-        Counters and histogram bucket counts add; gauges take the
-        snapshot's value (last write wins).  Histogram edges must match
-        the locally registered instrument exactly.
+        Counters and histogram bucket counts add; gauges keep the write
+        with the highest ``(seq, value)`` pair — "last writer wins", with
+        the write sequence stamped at ``set()`` defining *last* and the
+        value breaking ties, so merging a set of worker snapshots yields
+        the same result in any order.  Histogram edges must match the
+        locally registered instrument exactly.
         """
         for name, value in snapshot.counters.items():
             self.counter(name).inc(value)
         for name, value in snapshot.gauges.items():
-            self.gauge(name).set(value)
+            seq = int(snapshot.gauge_seqs.get(name, 0))
+            existing = self._gauges.get(name)
+            if existing is None:
+                gauge = self.gauge(name)
+                gauge.value = float(value)
+                gauge.seq = seq
+            elif (seq, float(value)) > (existing.seq, existing.value):
+                existing.value = float(value)
+                existing.seq = seq
         for name, body in snapshot.histograms.items():
             histogram = self.histogram(name, body["edges"])
             if len(body["counts"]) != len(histogram.counts):

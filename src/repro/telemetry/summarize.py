@@ -89,18 +89,26 @@ def build_span_forest(records: Iterable[Record]) -> List[SpanNode]:
     """
     nodes: Dict[str, SpanNode] = {}
     ordered: List[SpanNode] = []
-    for record in records:
+    for index, record in enumerate(records):
         if record.get("type") != "span":
             continue
-        node = SpanNode(
-            name=str(record.get("name", "?")),
-            span_id=str(record.get("span_id")),
-            parent_id=record.get("parent_id"),
-            start_s=float(record.get("start_s", 0.0)),
-            duration_s=float(record.get("duration_s", 0.0)),
-            status=str(record.get("status", "ok")),
-            attrs=dict(record.get("attrs", {})),
-        )
+        try:
+            node = SpanNode(
+                name=str(record.get("name", "?")),
+                span_id=str(record.get("span_id")),
+                parent_id=record.get("parent_id"),
+                start_s=float(record.get("start_s", 0.0)),
+                duration_s=float(record.get("duration_s", 0.0)),
+                status=str(record.get("status", "ok")),
+                attrs=dict(record.get("attrs", {})),
+            )
+        except (TypeError, ValueError) as error:
+            # Same contract as the metrics path below: a hand-edited or
+            # truncated span record fails with a pinpointed error, not
+            # a float()/dict() traceback from the middle of the loop.
+            raise ValueError(
+                f"malformed span record (record {index + 1}): {error!r}"
+            ) from None
         nodes[node.span_id] = node
         ordered.append(node)
     roots: List[SpanNode] = []

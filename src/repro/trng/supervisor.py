@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -202,6 +202,29 @@ class BlockRecord:
     alarm_count: int
     emitted: bool
     ones: int
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockObservation:
+    """One sampled block as seen by a :attr:`SupervisedTrng.block_observer`.
+
+    The observer hook is how the drift plane (:mod:`repro.obs.drift`)
+    watches a supervised run without the supervisor importing it: every
+    sampled block — probe or serve, emitted or discarded — is handed
+    over with its bits, the stream clock, and the health verdict.
+    """
+
+    bits: np.ndarray
+    time_s: float
+    position: int
+    channel: str
+    status: str
+    alarm_count: int
+    emitted: bool
+
+
+#: Signature of the per-block observer hook.
+BlockObserver = Callable[[BlockObservation], None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -495,6 +518,11 @@ class SupervisedTrng:
         self._q_target = float(q_target)
         self._backup_channels: Optional[List[RingChannel]] = None
         self.state = TrngState.STARTUP
+        #: Optional per-block hook (:data:`BlockObserver`): called for
+        #: every sampled block with a :class:`BlockObservation`.  Used
+        #: by ``repro.obs`` to run drift charts alongside a supervised
+        #: run; ``None`` costs a single attribute check per block.
+        self.block_observer: Optional[BlockObserver] = None
 
     @property
     def primary(self) -> RingChannel:
@@ -659,6 +687,19 @@ class _SupervisedRun:
                 ones=int(np.sum(bits)),
             )
         )
+        observer = self._owner.block_observer
+        if observer is not None:
+            observer(
+                BlockObservation(
+                    bits=bits,
+                    time_s=time_s,
+                    position=position,
+                    channel=channel_name,
+                    status=status,
+                    alarm_count=alarm_count,
+                    emitted=emitted,
+                )
+            )
 
     def _active_name(self) -> str:
         if len(self._active) == 1:

@@ -1,0 +1,204 @@
+"""The ``repro dash`` dashboard: sources, flattening, frame rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.dashboard import (
+    Dashboard,
+    DashboardError,
+    JsonlSource,
+    ScrapeSource,
+    flatten_snapshot,
+)
+from repro.telemetry import MetricsRegistry, MetricsSnapshot
+
+
+def metrics_record(t_s, counters=None, gauges=None):
+    snapshot = MetricsSnapshot(counters=counters or {}, gauges=gauges or {})
+    return json.dumps({"type": "metrics", "t_s": t_s, "metrics": snapshot.to_dict()})
+
+
+class TestFlattenSnapshot:
+    def test_counters_and_gauges_sanitized(self):
+        flat = flatten_snapshot(
+            MetricsSnapshot(
+                counters={"repro.serve.requests_ok": 4},
+                gauges={"repro.serve.pool.healthy": 2.0},
+            )
+        )
+        assert flat == {
+            "repro_serve_requests_ok": 4.0,
+            "repro_serve_pool_healthy": 2.0,
+        }
+
+    def test_histograms_contribute_sum_and_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro.serve.request_latency_s", [0.1]).observe(0.05)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["repro_serve_request_latency_s_sum"] == pytest.approx(0.05)
+        assert flat["repro_serve_request_latency_s_count"] == 1.0
+
+
+class TestJsonlSource:
+    def test_no_records_yet_raises(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text('{"type":"event","name":"x"}\n')
+        with pytest.raises(DashboardError, match="no metrics records"):
+            JsonlSource(path).sample()
+
+    def test_missing_file_raises_dashboard_error(self, tmp_path):
+        with pytest.raises(DashboardError, match="cannot read"):
+            JsonlSource(tmp_path / "absent.jsonl").sample()
+
+    def test_newest_record_wins(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text(
+            metrics_record(0.0, counters={"repro.serve.bytes_served": 10})
+            + "\n"
+            + metrics_record(1.0, counters={"repro.serve.bytes_served": 90})
+            + "\n"
+        )
+        assert JsonlSource(path).sample()["repro_serve_bytes_served"] == 90.0
+
+    def test_tail_resumes_from_offset(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text(metrics_record(0.0, gauges={"g": 1.0}) + "\n")
+        source = JsonlSource(path)
+        assert source.sample()["g"] == 1.0
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(metrics_record(1.0, gauges={"g": 5.0}) + "\n")
+        assert source.sample()["g"] == 5.0
+
+    def test_partial_trailing_line_carried_not_lost(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        full = metrics_record(0.0, gauges={"g": 1.0}) + "\n"
+        partial = metrics_record(1.0, gauges={"g": 7.0})
+        path.write_text(full + partial[:20])
+        source = JsonlSource(path)
+        assert source.sample()["g"] == 1.0
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(partial[20:] + "\n")
+        assert source.sample()["g"] == 7.0
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text(
+            "not json\n" + metrics_record(0.0, gauges={"g": 3.0}) + "\n"
+        )
+        assert JsonlSource(path).sample()["g"] == 3.0
+
+
+class TestScrapeSource:
+    def test_connection_refused_raises_dashboard_error(self):
+        # Port 1 on localhost: reliably nothing listening.
+        source = ScrapeSource("127.0.0.1", 1, timeout_s=0.5)
+        with pytest.raises(DashboardError, match="scrape of"):
+            source.sample()
+
+    def test_describe_names_the_endpoint(self):
+        assert "9999/metrics" in ScrapeSource("127.0.0.1", 9999).describe()
+
+
+class _StaticSource:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def describe(self):
+        return "static"
+
+    def sample(self):
+        return dict(self.metrics)
+
+
+FULL_METRICS = {
+    "repro_serve_pool_healthy": 3.0,
+    "repro_serve_pool_quarantined": 1.0,
+    "repro_serve_pool_tripped": 1.0,
+    "repro_serve_pool_brownout": 1.0,
+    "repro_serve_clients": 2.0,
+    "repro_serve_pool_channel_IRO_5_state": 2.0,
+    "repro_serve_pool_channel_IRO_5_flaps": 9.0,
+    "repro_serve_pool_channel_STR_48_state": 0.0,
+    "repro_serve_pool_channel_STR_48_flaps": 1.0,
+    "repro_obs_drift_drifting_STR_48": 1.0,
+    "repro_obs_window_bytes_per_s": 8192.0,
+    "repro_obs_window_requests_per_s": 12.5,
+    "repro_obs_window_errors_per_s": 0.0,
+    "repro_obs_window_alarms_per_s": 0.004,
+    "repro_obs_window_p50_latency_s": 0.003,
+    "repro_obs_window_p99_latency_s": 0.09,
+    "repro_obs_drift_score_STR_48_bias": 7.25,
+    "repro_obs_drift_score_IRO_5_bias": 0.5,
+    "repro_obs_drift_signals": 3.0,
+    "repro_serve_bytes_served": 123456.0,
+    "repro_serve_requests_ok": 42.0,
+    "repro_serve_requests_error": 1.0,
+}
+
+
+class TestDashboardFrame:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            Dashboard(_StaticSource({}), interval_s=0.0)
+
+    def test_full_frame_renders_every_panel(self):
+        dashboard = Dashboard(_StaticSource(FULL_METRICS))
+        frame = dashboard.render_once()
+        # pool summary
+        assert "pool: 3 healthy / 1 quarantined / 1 tripped" in frame
+        assert "[BROWNOUT]" in frame
+        assert "clients=2" in frame
+        # per-channel rows with state decoding and the drift marker
+        assert "IRO_5" in frame and "tripped" in frame and "flaps=9" in frame
+        assert "STR_48" in frame and "healthy" in frame and "DRIFTING" in frame
+        # SLO gauges
+        assert "8,192" in frame
+        assert "0.0900 s" in frame
+        # drift chart scores, worst first
+        assert "STR_48_bias" in frame and "7.25" in frame
+        # totals and keybindings
+        assert "123,456 bytes served" in frame
+        assert "3 drift signals" in frame
+        assert "[q] quit" in frame and "[p] pause" in frame
+
+    def test_empty_metrics_render_placeholders(self):
+        frame = Dashboard(_StaticSource({})).render_once()
+        assert "(no per-channel gauges published)" in frame
+        assert "(no drift charts attached)" in frame
+        assert "—" in frame  # SLO rows show a dash until gauges exist
+
+    def test_sparkline_history_accumulates_across_frames(self):
+        source = _StaticSource(dict(FULL_METRICS))
+        dashboard = Dashboard(source)
+        dashboard.render_once()
+        source.metrics["repro_obs_window_bytes_per_s"] = 16384.0
+        dashboard.render_once()
+        history = dashboard.history.values("repro_obs_window_bytes_per_s")
+        assert history == [8192.0, 16384.0]
+        assert dashboard.frames == 2
+
+    def test_run_paints_requested_frames_and_survives_source_errors(
+        self, tmp_path
+    ):
+        dashboard = Dashboard(
+            JsonlSource(tmp_path / "never.jsonl"), interval_s=0.01
+        )
+        out = io.StringIO()
+        painted = dashboard.run(iterations=2, out=out)
+        assert painted == 2
+        assert "waiting for data" in out.getvalue()
+
+    def test_run_renders_real_frames_from_jsonl(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text(
+            metrics_record(
+                0.0, counters={"repro.serve.bytes_served": 77}
+            )
+            + "\n"
+        )
+        dashboard = Dashboard(JsonlSource(path), interval_s=0.01)
+        out = io.StringIO()
+        assert dashboard.run(iterations=1, out=out) == 1
+        assert "77 bytes served" in out.getvalue()

@@ -1,0 +1,157 @@
+"""The exposition sidecar: scrape endpoint, publish loop, server wiring.
+
+No pytest-asyncio in the toolchain — every test drives its own event
+loop with ``asyncio.run`` around an in-process sidecar on an ephemeral
+port (the same convention as ``test_server.py``).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.campaign import RingSpec
+from repro.serve.observability import ObservabilityConfig, ObservabilitySidecar
+from repro.serve.pool import TrngPool
+from repro.serve.server import EntropyServer, ServerConfig
+from repro.telemetry import (
+    MetricsPublisher,
+    SnapshotWindow,
+    default_registry,
+    parse_prometheus,
+)
+
+
+async def _http_scrape(port, request=b"GET /metrics HTTP/1.0\r\n\r\n"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(request)
+    await writer.drain()
+    if request:
+        raw = await asyncio.wait_for(reader.read(), timeout=5)
+    else:
+        writer.write_eof()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return raw
+
+
+class TestConfig:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            ObservabilityConfig(interval_s=0.0)
+
+
+class TestSidecar:
+    def test_scrape_returns_prometheus_text(self):
+        async def go():
+            default_registry().counter("repro.serve.requests_ok").inc(5)
+            sidecar = ObservabilitySidecar(ObservabilityConfig(interval_s=0.05))
+            await sidecar.start()
+            try:
+                raw = await _http_scrape(sidecar.port)
+            finally:
+                await sidecar.stop()
+            return raw, sidecar.scrapes
+
+        raw, scrapes = asyncio.run(go())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        assert int(
+            next(
+                line.split(b":")[1]
+                for line in head.split(b"\r\n")
+                if line.lower().startswith(b"content-length")
+            )
+        ) == len(body)
+        values = {
+            s.name: s.value for s in parse_prometheus(body.decode("utf-8"))
+        }
+        assert values["repro_serve_requests_ok"] == 5.0
+        assert scrapes == 1
+
+    def test_bare_tcp_scraper_still_gets_the_body(self):
+        # `nc host port </dev/null` — no HTTP request head at all.
+        async def go():
+            default_registry().counter("repro.serve.requests_ok").inc(1)
+            sidecar = ObservabilitySidecar(ObservabilityConfig(interval_s=0.05))
+            await sidecar.start()
+            try:
+                raw = await _http_scrape(sidecar.port, request=b"")
+            finally:
+                await sidecar.stop()
+            return raw
+
+        raw = asyncio.run(go())
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert b"repro_serve_requests_ok 1" in body
+
+    def test_publish_loop_ticks_and_final_tick_on_stop(self):
+        async def go():
+            publisher = MetricsPublisher(window=SnapshotWindow())
+            sidecar = ObservabilitySidecar(
+                ObservabilityConfig(interval_s=0.02), publisher=publisher
+            )
+            await sidecar.start()
+            await asyncio.sleep(0.1)
+            ticks_while_running = publisher.ticks
+            await sidecar.stop()
+            return ticks_while_running, publisher.ticks
+
+        running, final = asyncio.run(go())
+        assert running >= 2
+        assert final == running + 1  # stop() flushes one last snapshot
+
+    def test_jsonl_log_written_via_config(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+
+        async def go():
+            default_registry().counter("repro.serve.bytes_served").inc(64)
+            sidecar = ObservabilitySidecar(
+                ObservabilityConfig(interval_s=0.02, jsonl_path=str(path))
+            )
+            await sidecar.start()
+            await asyncio.sleep(0.06)
+            await sidecar.stop()
+
+        asyncio.run(go())
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records and all(r["type"] == "metrics" for r in records)
+        assert (
+            records[-1]["metrics"]["counters"]["repro.serve.bytes_served"] == 64
+        )
+
+
+class TestServerIntegration:
+    def test_server_starts_and_drains_the_sidecar(self):
+        async def go():
+            pool = TrngPool((RingSpec("iro", 5), RingSpec("str", 48)), seed=3)
+            sidecar = ObservabilitySidecar(ObservabilityConfig(interval_s=0.05))
+            server = EntropyServer(pool, ServerConfig(), observability=sidecar)
+            await server.start()
+            assert sidecar.port is not None and sidecar.port != server.port
+            from repro.serve.client import EntropyClient
+
+            client = await EntropyClient.connect("127.0.0.1", server.port)
+            await client.fetch(256)
+            await client.close()
+            # The scrape serves the *published* snapshot; wait for the
+            # publish loop to tick past the fetch.
+            await asyncio.sleep(0.15)
+            raw = await _http_scrape(sidecar.port)
+            server.request_shutdown()
+            await asyncio.wait_for(server.wait_closed(), timeout=10)
+            # Drained: the scrape port must be closed with the server.
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", sidecar.port)
+            return raw
+
+        raw = asyncio.run(go())
+        body = raw.partition(b"\r\n\r\n")[2].decode("utf-8")
+        values = {s.name: s.value for s in parse_prometheus(body)}
+        assert values["repro_serve_bytes_served"] >= 256
+        assert values["repro_serve_pool_healthy"] >= 1

@@ -1,0 +1,122 @@
+"""``repro trace summarize`` over a recorded chaos drill.
+
+The drill phases land on the trace as a span tree
+(``chaos_drill > warmup/storm/drain``); this file records one real
+drill through a :class:`JsonlSink` and asserts the summarizer rolls it
+up the way an operator reads it — plus the malformed-span error path.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.chaos import run_chaos
+from repro.telemetry import JsonlSink, use_sink
+from repro.telemetry.summarize import summarize_file, summarize_records
+
+
+@pytest.fixture(scope="module")
+def drill_trace(tmp_path_factory):
+    """One recorded chaos drill (module-scoped: the drill is the cost)."""
+    path = tmp_path_factory.mktemp("chaos") / "drill.jsonl"
+    sink = JsonlSink(path)
+    with use_sink(sink):
+        report = asyncio.run(
+            run_chaos(clients=4, requests_per_client=2, request_bytes=256, seed=77)
+        )
+    sink.close()
+    return path, report
+
+
+class TestChaosDrillRollup:
+    def test_span_tree_has_the_drill_phases(self, drill_trace):
+        path, _report = drill_trace
+        summary = summarize_file(path)
+        rows = {(row.depth, row.name): row for row in summary.span_rows}
+        drill = rows[(0, "chaos_drill")]
+        assert drill.count == 1
+        # The three phases sit one level under the drill root...
+        for phase in ("warmup", "storm", "drain"):
+            assert (1, phase) in rows, f"missing phase span {phase!r}"
+            assert rows[(1, phase)].count == 1
+        # ...and their durations are bounded by the drill's.
+        phase_total = sum(rows[(1, p)].total_s for p in ("warmup", "storm", "drain"))
+        assert phase_total <= drill.total_s + 1e-9
+
+    def test_drill_attrs_recorded_on_the_root_span(self, drill_trace):
+        path, report = drill_trace
+        records = [json.loads(line) for line in open(path, encoding="utf-8")]
+        (root,) = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "chaos_drill"
+        ]
+        assert root["attrs"]["clients"] == 4
+        assert root["attrs"]["drained_cleanly"] is report.drained_cleanly
+
+    def test_pool_events_appear_in_event_totals(self, drill_trace):
+        path, report = drill_trace
+        summary = summarize_file(path)
+        assert summary.event_totals.get("serve.pool.quarantine", 0) == (
+            report.pool_events.get("quarantine", 0)
+        )
+        assert summary.event_totals.get("serve.pool.fault_injected") == 1
+
+    def test_render_reads_like_a_phase_report(self, drill_trace):
+        path, _report = drill_trace
+        text = summarize_file(path).render()
+        assert "chaos_drill" in text
+        assert "  warmup" in text  # indented: a child of the drill span
+        assert "events:" in text
+
+    def test_cli_summarize_round_trip(self, drill_trace, capsys):
+        path, _report = drill_trace
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos_drill" in out and "storm" in out
+
+
+class TestMalformedSpanRecords:
+    def _records(self, duration="not-a-float"):
+        return [
+            {
+                "type": "span",
+                "name": "ok",
+                "span_id": "a",
+                "parent_id": None,
+                "start_s": 0.0,
+                "duration_s": 1.0,
+                "status": "ok",
+                "attrs": {},
+            },
+            {
+                "type": "span",
+                "name": "bad",
+                "span_id": "b",
+                "parent_id": None,
+                "start_s": 0.0,
+                "duration_s": duration,
+                "status": "ok",
+                "attrs": {},
+            },
+        ]
+
+    def test_bad_field_pinpoints_the_record(self):
+        with pytest.raises(ValueError, match=r"malformed span record \(record 2\)"):
+            summarize_records(self._records())
+
+    def test_non_mapping_attrs_rejected(self):
+        records = self._records(duration=1.0)
+        records[1]["attrs"] = 42
+        with pytest.raises(ValueError, match="malformed span record"):
+            summarize_records(records)
+
+    def test_cli_reports_malformed_trace_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(record) for record in self._records()) + "\n"
+        )
+        assert main(["trace", "summarize", str(path)]) != 0
+        assert "malformed span record" in capsys.readouterr().err

@@ -1,0 +1,212 @@
+"""Prometheus exposition: rendering, parsing, window rules, publisher."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SERVE_WINDOW_RULES,
+    MetricsPublisher,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SnapshotWindow,
+    WindowRule,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.telemetry.exposition import Sample
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("repro.serve.bytes") == "repro_serve_bytes"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("repro_obs:window") == "repro_obs:window"
+
+    def test_arbitrary_punctuation_flattened(self):
+        assert sanitize_metric_name("a-b/c d") == "a_b_c_d"
+
+
+class TestRender:
+    def test_counter_and_gauge_families(self):
+        snapshot = MetricsSnapshot(
+            counters={"repro.serve.requests_ok": 7},
+            gauges={"repro.serve.pool.healthy": 3.0},
+        )
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_serve_requests_ok counter\n" in text
+        assert "repro_serve_requests_ok 7\n" in text
+        assert "# TYPE repro_serve_pool_healthy gauge\n" in text
+        assert "repro_serve_pool_healthy 3\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        snapshot = MetricsSnapshot(
+            histograms={
+                "lat": {
+                    "edges": [0.1, 1.0],
+                    "counts": [2, 3, 1],
+                    "sum": 2.5,
+                    "count": 6,
+                }
+            }
+        )
+        lines = render_prometheus(snapshot).splitlines()
+        assert 'lat_bucket{le="0.1"} 2' in lines
+        assert 'lat_bucket{le="1"} 5' in lines
+        assert 'lat_bucket{le="+Inf"} 6' in lines
+        assert "lat_sum 2.5" in lines
+        assert "lat_count 6" in lines
+
+    def test_timestamp_suffix_on_every_sample(self):
+        snapshot = MetricsSnapshot(counters={"c": 1}, gauges={"g": 2.0})
+        for line in render_prometheus(snapshot, timestamp_ms=1234).splitlines():
+            if not line.startswith("#"):
+                assert line.endswith(" 1234")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsSnapshot()) == ""
+
+
+class TestParse:
+    def test_round_trip_through_parse(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.a").inc(4)
+        registry.gauge("repro.b").set(2.5)
+        registry.histogram("repro.c", [0.1, 1.0]).observe(0.05)
+        samples = parse_prometheus(render_prometheus(registry.snapshot()))
+        values = {sample.name: sample.value for sample in samples}
+        assert values["repro_a"] == 4.0
+        assert values["repro_b"] == 2.5
+        assert values["repro_c_count"] == 1.0
+        buckets = [s for s in samples if s.name == "repro_c_bucket"]
+        assert [dict(s.labels)["le"] for s in buckets] == ["0.1", "1", "+Inf"]
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_prometheus("# HELP x y\n\n# TYPE x counter\n") == []
+
+    def test_labels_parsed(self):
+        (sample,) = parse_prometheus('up{job="serve",port="9"} 1\n')
+        assert sample == Sample(
+            name="up", labels=(("job", "serve"), ("port", "9")), value=1.0
+        )
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus("ok 1\n!!! not a sample\n")
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus("metric banana\n")
+
+
+class TestWindowRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            WindowRule("median", "a", "b")
+
+    def test_bad_window_and_quantile_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowRule("rate", "a", "b", window_s=0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            WindowRule("quantile", "a", "b", q=2.0)
+
+    def test_serve_rules_cover_the_slo_panel(self):
+        outputs = {rule.output for rule in SERVE_WINDOW_RULES}
+        assert {
+            "repro.obs.window.bytes_per_s",
+            "repro.obs.window.requests_per_s",
+            "repro.obs.window.errors_per_s",
+            "repro.obs.window.alarms_per_s",
+            "repro.obs.window.p50_latency_s",
+            "repro.obs.window.p99_latency_s",
+        } <= outputs
+
+
+class TestPublisher:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.serve.bytes_served").inc(0)
+        return registry
+
+    def test_tick_derives_windowed_gauges(self):
+        registry = self._registry()
+        publisher = MetricsPublisher(registry=registry, window=SnapshotWindow())
+        publisher.tick(0.0)
+        registry.counter("repro.serve.bytes_served").inc(500)
+        published = publisher.tick(5.0)
+        assert published.gauges["repro.obs.window.bytes_per_s"] == pytest.approx(
+            100.0
+        )
+        assert publisher.ticks == 2
+
+    def test_quantile_rule_populates_latency_gauge(self):
+        registry = self._registry()
+        latency = registry.histogram("repro.serve.request_latency_s", [0.01, 0.1])
+        publisher = MetricsPublisher(registry=registry, window=SnapshotWindow())
+        publisher.tick(0.0)
+        for _ in range(10):
+            latency.observe(0.05)
+        published = publisher.tick(10.0)
+        p99 = published.gauges["repro.obs.window.p99_latency_s"]
+        assert 0.01 < p99 <= 0.1
+
+    def test_render_before_first_tick_shows_live_registry(self):
+        registry = self._registry()
+        registry.counter("repro.serve.requests_ok").inc(3)
+        publisher = MetricsPublisher(registry=registry, window=SnapshotWindow())
+        assert "repro_serve_requests_ok 3" in publisher.render()
+
+    def test_render_after_tick_is_the_published_snapshot(self):
+        registry = self._registry()
+        publisher = MetricsPublisher(registry=registry, window=SnapshotWindow())
+        publisher.tick(0.0)
+        registry.counter("repro.serve.bytes_served").inc(999)
+        # render() is the *published* view: the newer write is invisible
+        # until the next tick, so a scrape mid-tick is coherent.
+        assert "repro_serve_bytes_served 0" in publisher.render()
+        publisher.tick(1.0)
+        assert "repro_serve_bytes_served 999" in publisher.render()
+
+    def test_jsonl_records_written_and_parseable(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        registry = self._registry()
+        publisher = MetricsPublisher(
+            registry=registry, window=SnapshotWindow(), jsonl_path=path
+        )
+        publisher.tick(0.0)
+        registry.counter("repro.serve.bytes_served").inc(64)
+        publisher.tick(1.0)
+        publisher.close()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert [r["type"] for r in records] == ["metrics", "metrics"]
+        assert records[1]["t_s"] == 1.0
+        decoded = MetricsSnapshot.from_dict(records[1]["metrics"])
+        assert decoded.counters["repro.serve.bytes_served"] == 64
+
+    def test_default_registry_resolved_at_tick_time(self):
+        # A publisher built without a registry follows use_registry
+        # swaps — the sidecar created at CLI-startup must publish the
+        # registry the server actually writes to.
+        publisher = MetricsPublisher(window=SnapshotWindow())
+        from repro.telemetry import default_registry
+
+        default_registry().counter("repro.serve.requests_ok").inc(2)
+        published = publisher.tick(0.0)
+        assert published.counters["repro.serve.requests_ok"] == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        publisher = MetricsPublisher(
+            registry=MetricsRegistry(),
+            window=SnapshotWindow(),
+            jsonl_path=tmp_path / "x.jsonl",
+        )
+        publisher.close()
+        publisher.close()

@@ -6,15 +6,13 @@ metrics are only deterministic if merging is associative and (for the
 additive instruments) commutative, with the empty snapshot as identity.
 These are exactly the properties checked here.
 
-Two documented deviations from a full commutative monoid, encoded in
-the strategies rather than worked around silently:
-
-* gauges are last-write-wins, so commutativity holds only when the two
-  operands touch *disjoint* gauge names (associativity holds always:
-  "rightmost wins" is associative);
-* histogram ``sum`` is an IEEE-754 float accumulator; addition of
-  arbitrary floats is not associative, so sums are drawn as
-  integer-valued floats, where addition is exact.
+Gauges are last-write-wins resolved by the ``(seq, value)`` stamp that
+``Gauge.set()`` records (see ``TestGaugeLastWriteWins``), which makes
+the merge commutative even on shared names — "last" is defined by the
+write sequence, not by whichever snapshot happened to merge second.
+The one remaining encoded deviation: histogram ``sum`` is an IEEE-754
+float accumulator; addition of arbitrary floats is not associative, so
+sums are drawn as integer-valued floats, where addition is exact.
 """
 
 from hypothesis import given
@@ -85,16 +83,49 @@ class TestIdentity:
 class TestCommutativity:
     @given(snapshots(gauge_names=["g1", "g2"]), snapshots(gauge_names=["g3", "g4"]))
     def test_disjoint_gauges_commute(self, a, b):
-        # Counters and histograms may share names freely — addition
-        # commutes; only gauges need disjointness.
         assert a.merged(b) == b.merged(a)
 
-    def test_shared_gauge_does_not_commute_by_design(self):
-        # Documents (rather than hides) the last-write-wins deviation.
+    @given(snapshots(), snapshots())
+    def test_shared_gauges_commute_too(self, a, b):
+        # The bug this pins down: merge used to keep whichever operand
+        # arrived second ("rightmost wins"), so the final value of a
+        # shared gauge depended on worker completion order.  With the
+        # (seq, value) tie-break a shared name resolves identically in
+        # either merge order.
+        assert a.merged(b) == b.merged(a)
+
+
+class TestGaugeLastWriteWins:
+    def test_hand_built_snapshots_resolve_by_value(self):
+        # No seq stamps at all: the value itself is the deterministic
+        # tie-breaker, in both orders.
         a = MetricsSnapshot(gauges={"jobs": 2.0})
         b = MetricsSnapshot(gauges={"jobs": 8.0})
         assert a.merged(b).gauges["jobs"] == 8.0
-        assert b.merged(a).gauges["jobs"] == 2.0
+        assert b.merged(a).gauges["jobs"] == 8.0
+
+    def test_later_write_wins_regardless_of_merge_order(self):
+        # Registry-produced snapshots carry write sequences: the
+        # chronologically later set() wins even when its value is
+        # smaller and even when its snapshot merges first.
+        from repro.telemetry import MetricsRegistry
+
+        early, late = MetricsRegistry(), MetricsRegistry()
+        early.gauge("depth").set(9.0)
+        late.gauge("depth").set(1.0)  # later write, smaller value
+        a, b = early.snapshot(), late.snapshot()
+        assert a.merged(b).gauges["depth"] == 1.0
+        assert b.merged(a).gauges["depth"] == 1.0
+
+    def test_seq_survives_dict_round_trip(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4.0)
+        snapshot = registry.snapshot()
+        decoded = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert decoded.gauge_seqs == snapshot.gauge_seqs
+        assert decoded.gauge_seqs["depth"] > 0
 
 
 class TestAssociativity:

@@ -121,3 +121,202 @@ class TestMain:
             assert any(
                 stem == name or stem.startswith(name + "_") for stem in stems
             ), f"reference entry {name!r} matches no benchmarks/bench_*.py"
+
+
+def history_rows(*means_maps):
+    """File-shaped rows (what load_history_means parses)."""
+    return [{"means": means} for means in means_maps]
+
+
+def history_means(*means_maps):
+    """Parsed per-run mean maps (what drift_warnings consumes)."""
+    return list(means_maps)
+
+
+class TestLoadHistoryMeans:
+    def test_reads_the_rolling_jsonl(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            "\n".join(
+                json.dumps({"sha": s, "means": {"bench_a": m}})
+                for s, m in (("one", 1.0), ("two", 1.1))
+            )
+            + "\n"
+        )
+        assert check_regression.load_history_means(str(path)) == [
+            {"bench_a": 1.0},
+            {"bench_a": 1.1},
+        ]
+
+    def test_reads_the_committed_snapshot_document(self, tmp_path):
+        path = tmp_path / "BENCH_history.json"
+        path.write_text(
+            json.dumps(
+                {"updated": "2026-01-01T00:00:00Z", "rows": history_rows({"bench_a": 2.0})}
+            )
+        )
+        assert check_regression.load_history_means(str(path)) == [{"bench_a": 2.0}]
+
+    def test_blank_lines_and_missing_means_tolerated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"sha": "x"}\n\n{"means": {"bench_a": 3.0}}\n')
+        assert check_regression.load_history_means(str(path)) == [
+            {},
+            {"bench_a": 3.0},
+        ]
+
+
+class TestDriftWarnings:
+    def test_monotonic_growth_past_factor_warns(self):
+        warnings = check_regression.drift_warnings(
+            history_means({"bench_a": 1.0}, {"bench_a": 1.2}),
+            {"bench_a": 1.4},
+            drift_factor=1.3,
+        )
+        assert warnings == [("bench_a", [1.0, 1.2, 1.4])]
+
+    def test_growth_below_factor_stays_quiet(self):
+        assert (
+            check_regression.drift_warnings(
+                history_means({"bench_a": 1.0}, {"bench_a": 1.05}),
+                {"bench_a": 1.1},
+                drift_factor=1.3,
+            )
+            == []
+        )
+
+    def test_non_monotonic_series_stays_quiet(self):
+        # A dip in the middle breaks the trend even when the overall
+        # ratio clears the factor: noise, not creep.
+        assert (
+            check_regression.drift_warnings(
+                history_means({"bench_a": 1.0}, {"bench_a": 0.9}),
+                {"bench_a": 1.5},
+                drift_factor=1.3,
+            )
+            == []
+        )
+
+    def test_short_history_is_skipped(self):
+        assert (
+            check_regression.drift_warnings(
+                history_means({"bench_a": 1.0}), {"bench_a": 2.0}, drift_factor=1.3
+            )
+            == []
+        )
+
+    def test_only_the_trailing_runs_count(self):
+        # Ancient slow runs must not mask a fresh monotonic climb.
+        warnings = check_regression.drift_warnings(
+            history_means(
+                {"bench_a": 9.0}, {"bench_a": 1.0}, {"bench_a": 1.2}
+            ),
+            {"bench_a": 1.4},
+            drift_factor=1.3,
+        )
+        assert warnings == [("bench_a", [1.0, 1.2, 1.4])]
+
+    def test_report_prints_warning_to_stderr(self, capsys):
+        check_regression.report_drift(
+            history_means({"bench_a": 1.0}, {"bench_a": 1.2}),
+            {"bench_a": 1.4},
+            drift_factor=1.3,
+        )
+        captured = capsys.readouterr()
+        assert "DRIFT WARNING" in captured.err
+        assert "bench_a" in captured.err
+        assert "1.40x" in captured.err
+
+    def test_report_prints_all_clear_line(self, capsys):
+        check_regression.report_drift([], {"bench_a": 1.0}, drift_factor=1.3)
+        captured = capsys.readouterr()
+        assert "no monotonic drift" in captured.out
+        assert captured.err == ""
+
+    def test_main_history_flag_warns_but_never_fails(self, paths, tmp_path, capsys):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 1.4})
+        write_reference(reference, {"bench_a": 1.0})
+        history = tmp_path / "history.jsonl"
+        history.write_text(
+            json.dumps({"means": {"bench_a": 1.0}})
+            + "\n"
+            + json.dumps({"means": {"bench_a": 1.2}})
+            + "\n"
+        )
+        assert (
+            check_regression.main(
+                [str(bench), str(reference), "--history", str(history)]
+            )
+            == 0
+        )
+        assert "DRIFT WARNING" in capsys.readouterr().err
+
+    def test_main_missing_history_skips_gracefully(self, paths, tmp_path, capsys):
+        bench, reference = paths
+        write_bench_json(bench, {"bench_a": 0.5})
+        write_reference(reference, {"bench_a": 1.0})
+        missing = tmp_path / "nope.jsonl"
+        assert (
+            check_regression.main(
+                [str(bench), str(reference), "--history", str(missing)]
+            )
+            == 0
+        )
+        assert "drift check skipped" in capsys.readouterr().out
+
+
+_APPEND = _SCRIPT.parent / "append_history.py"
+_append_spec = importlib.util.spec_from_file_location("append_history", _APPEND)
+append_history = importlib.util.module_from_spec(_append_spec)
+_append_spec.loader.exec_module(append_history)
+
+
+class TestAppendHistorySnapshot:
+    def test_snapshot_keeps_the_trailing_rows(self, tmp_path):
+        history = [
+            {"sha": f"s{i}", "utc": f"2026-01-{i + 1:02d}T00:00:00Z", "means": {}}
+            for i in range(append_history.SNAPSHOT_ROWS + 5)
+        ]
+        path = tmp_path / "BENCH_history.json"
+        append_history.write_snapshot(history, str(path))
+        document = json.loads(path.read_text())
+        assert len(document["rows"]) == append_history.SNAPSHOT_ROWS
+        assert document["rows"][-1]["sha"] == history[-1]["sha"]
+        assert document["updated"] == history[-1]["utc"]
+
+    def test_snapshot_of_empty_history(self, tmp_path):
+        path = tmp_path / "BENCH_history.json"
+        append_history.write_snapshot([], str(path))
+        assert json.loads(path.read_text()) == {"updated": "", "rows": []}
+
+    def test_main_appends_and_writes_snapshot(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        write_bench_json(bench, {"bench_a": 0.25})
+        history = tmp_path / "history.jsonl"
+        snapshot = tmp_path / "BENCH_history.json"
+        assert (
+            append_history.main(
+                [
+                    str(bench),
+                    str(history),
+                    "--sha",
+                    "abc123",
+                    "--snapshot",
+                    str(snapshot),
+                ]
+            )
+            == 0
+        )
+        rows = [json.loads(line) for line in history.read_text().splitlines()]
+        assert rows[-1]["means"] == {"bench_a": 0.25}
+        document = json.loads(snapshot.read_text())
+        assert document["rows"][-1]["sha"] == "abc123"
+        assert "snapshot" in capsys.readouterr().out
+
+    def test_committed_snapshot_is_loadable_by_the_gate(self):
+        # The file at the repo root must stay parseable by the drift
+        # check (cold-cache CI path).
+        committed = _SCRIPT.parent.parent / "BENCH_history.json"
+        means = check_regression.load_history_means(str(committed))
+        assert isinstance(means, list)

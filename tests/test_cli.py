@@ -516,3 +516,83 @@ class TestServeCommands:
         output = capsys.readouterr().out
         assert "chaos SLO" in output and "PASS" in output
         assert "unhealthy emitted:    0" in output
+
+
+class TestDashCommand:
+    def test_dash_parser_roundtrip(self):
+        args = build_parser().parse_args(
+            [
+                "dash",
+                "--host",
+                "10.0.0.1",
+                "--port",
+                "9100",
+                "--interval",
+                "0.5",
+                "--frames",
+                "3",
+                "--once",
+            ]
+        )
+        assert args.host == "10.0.0.1"
+        assert args.port == 9100
+        assert args.interval == 0.5
+        assert args.frames == 3
+        assert args.once is True
+        assert args.follow is None
+
+    def test_dash_requires_exactly_one_source(self, tmp_path, capsys):
+        # Neither source...
+        assert main(["dash", "--once"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        # ...and both at once are equally wrong.
+        log = tmp_path / "obs.jsonl"
+        log.write_text("")
+        assert main(["dash", "--port", "9100", "--follow", str(log)]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+
+    def test_dash_once_renders_a_followed_log(self, tmp_path, capsys):
+        from repro.telemetry import MetricsSnapshot
+
+        snapshot = MetricsSnapshot(
+            counters={"repro.serve.bytes_served": 4096},
+            gauges={"repro.serve.pool.healthy": 2.0},
+        )
+        log = tmp_path / "obs.jsonl"
+        log.write_text(
+            json.dumps({"type": "metrics", "t_s": 1.0, "metrics": snapshot.to_dict()})
+            + "\n"
+        )
+        assert main(["dash", "--follow", str(log), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "4,096 bytes served" in out
+
+    def test_dash_once_fails_cleanly_without_data(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["dash", "--follow", str(empty), "--once"]) == 1
+        assert "FAIL:" in capsys.readouterr().err
+
+    def test_serve_parser_accepts_observability_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--obs-port",
+                "0",
+                "--obs-interval",
+                "0.2",
+                "--obs-log",
+                "obs.jsonl",
+                "--drift",
+            ]
+        )
+        assert args.obs_port == 0
+        assert args.obs_interval == 0.2
+        assert args.obs_log == "obs.jsonl"
+        assert args.drift is True
+
+    def test_serve_observability_disabled_by_default(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.obs_port is None
+        assert args.obs_log is None
+        assert args.drift is False

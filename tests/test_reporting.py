@@ -111,3 +111,44 @@ class TestCliReportMd:
         assert "wrote" in capsys.readouterr().out
         assert "[FIG4]" not in output.read_text()  # markdown style, not render()
         assert "## FIG4" in output.read_text()
+
+
+class TestSparkline:
+    def test_empty_input_is_empty_string(self):
+        from repro.reporting import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_monotonic_ramp_uses_rising_levels(self):
+        from repro.reporting import sparkline
+
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert list(line) == sorted(line)
+
+    def test_width_keeps_the_trailing_values(self):
+        from repro.reporting import sparkline
+
+        assert sparkline([9.0, 9.0, 0.0, 1.0], width=2) == sparkline([0.0, 1.0])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_pinned_scale_compares_honestly(self):
+        from repro.reporting import sparkline
+
+        # With the scale pinned to [0, 16], a value of 1 stays low even
+        # when it is the series maximum.
+        assert sparkline([1.0, 1.0], low=0.0, high=16.0) == "▁▁"
+
+    def test_constant_series_renders_flat_low(self):
+        from repro.reporting import sparkline
+
+        line = sparkline([5.0, 5.0, 5.0])
+        assert line == "▁▁▁"
+
+    def test_non_finite_values_render_as_spaces(self):
+        from repro.reporting import sparkline
+
+        assert sparkline([0.0, float("nan"), 1.0])[1] == " "
+        assert sparkline([float("inf")] * 3) == "   "
