@@ -305,6 +305,79 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_puf(args: argparse.Namespace) -> int:
+    from repro.fpga.voltage import SupplySpec
+    from repro.puf import (
+        PufDesign,
+        authentication_report,
+        enroll_population,
+        measure_population,
+        score_population,
+    )
+    from repro.stats.puf import mean_pairwise_hamming
+
+    try:
+        design = PufDesign(
+            ring_count=args.rings,
+            stage_count=args.stages,
+            topology=args.topology,
+            group_size=args.group_size,
+            placement_policy=args.placement,
+            measure_periods=args.periods,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    jobs = args.jobs if args.jobs is not None else 1
+
+    progress = None
+    if sys.stderr.isatty():
+
+        def progress(done: int, total: int) -> None:
+            print(f"\r{done}/{total} device chunks", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+
+    if args.action == "enroll":
+        enrollment = enroll_population(
+            args.devices, design=design, seed=args.seed, jobs=jobs, progress=progress
+        )
+        database_bytes = enrollment.device_count * enrollment.response_bits
+        print(f"enrolled {enrollment.device_count} devices: {design.describe()}")
+        print(f"mean ring frequency: {enrollment.mean_frequency_mhz:.1f} MHz")
+        print(
+            f"response database: {enrollment.response_bits} bits/device "
+            f"({database_bytes / 1e6:.1f} MB as uint8)"
+        )
+        print(
+            f"mean inter-device HD (exact, all pairs): "
+            f"{mean_pairwise_hamming(enrollment.responses):.4f}"
+        )
+        rate = enrollment.device_count / enrollment.elapsed_s
+        print(f"elapsed: {enrollment.elapsed_s:.2f} s ({rate:,.0f} devices/s)")
+        return 0
+
+    if args.action == "score":
+        score = score_population(
+            args.devices, design=design, seed=args.seed, jobs=jobs, progress=progress
+        )
+        print(score.render())
+        return 0
+
+    measurement = measure_population(
+        args.devices,
+        design=design,
+        corners=(SupplySpec(), SupplySpec()),
+        seed=args.seed,
+        jobs=jobs,
+        progress=progress,
+    )
+    report = authentication_report(measurement.responses[0], measurement.responses[1])
+    print(f"design: {design.describe()}")
+    print(report.render())
+    return 0
+
+
 def _parse_injections(pairs: Optional[List[str]]) -> Optional[Dict[str, Any]]:
     """``KEY=VALUE`` override pairs -> a params-override mapping.
 
@@ -354,7 +427,13 @@ def _command_verify(args: argparse.Namespace) -> int:
 
     try:
         overrides = _parse_injections(args.inject)
-        claim_ids = [cid.upper() for cid in args.claims] if args.claims else None
+        # Accept both space- and comma-separated claim lists
+        # (``--claims C2 C6`` and ``--claims PUF-UNIQ,PUF-STABLE``).
+        claim_ids = (
+            [cid.upper() for arg in args.claims for cid in arg.split(",") if cid]
+            if args.claims
+            else None
+        )
         if claim_ids:
             for claim_id in claim_ids:
                 get_claim(claim_id)  # fail fast on typos
@@ -866,6 +945,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(faults_parser)
     faults_parser.set_defaults(handler=_command_faults)
+
+    puf_parser = subparsers.add_parser(
+        "puf", help="RO-PUF population workloads on the process model"
+    )
+    puf_parser.add_argument(
+        "action",
+        choices=("enroll", "score", "auth"),
+        help="enroll a population, score uniqueness/reliability, or sweep FAR/FRR",
+    )
+    puf_parser.add_argument(
+        "--devices", type=int, default=10_000, help="population size (default: 10000)"
+    )
+    puf_parser.add_argument(
+        "--rings", type=int, default=32, help="ring oscillators per device"
+    )
+    puf_parser.add_argument(
+        "--stages", type=int, default=3, help="stages per ring oscillator"
+    )
+    puf_parser.add_argument(
+        "--topology",
+        choices=("neighbor", "allpairs", "lehmer"),
+        default="neighbor",
+        help="comparison topology deriving response bits",
+    )
+    puf_parser.add_argument(
+        "--group-size", type=int, default=8, help="rings per Lehmer ordering group"
+    )
+    puf_parser.add_argument(
+        "--placement",
+        choices=("aligned", "sequential"),
+        default="aligned",
+        help="aligned single-LAB rings, or the paper's sequential fill",
+    )
+    puf_parser.add_argument(
+        "--periods",
+        type=int,
+        default=0,
+        help="periods averaged per frequency readout (0 = noiseless)",
+    )
+    puf_parser.add_argument("--seed", type=int, default=0)
+    puf_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes over device chunks (0 = all cores)",
+    )
+    _add_telemetry_flags(puf_parser)
+    puf_parser.set_defaults(handler=_command_puf)
 
     verify_parser = subparsers.add_parser(
         "verify", help="verify the paper's claims statistically across seeds"

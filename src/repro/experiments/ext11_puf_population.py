@@ -1,0 +1,154 @@
+"""EXT11 — RO-PUF population quality on the process model (extension).
+
+The paper reads Table II as an *entropy* liability: process dispersion
+is deterministic, so it cannot feed a TRNG.  This experiment reads the
+same dispersion as an *identity* asset — the RO-PUF view — and scores a
+simulated device population on the three Maiti-Schaumont figures of
+merit plus threshold authentication:
+
+* **uniqueness**: mean inter-device Hamming distance of the response
+  bits (ideal 50 %);
+* **reliability**: intra-device HD between enrollment and
+  re-measurements under readout noise and the voltage/temperature
+  stress corners of the fault library (ideal 0 %);
+* **bit-aliasing**: per-bit one-rate across the population;
+* **FAR/FRR/EER**: the threshold-authentication error trade-off.
+
+Two model findings frame the table.  First, with the *aligned*
+placement (every ring an identical single-LAB footprint) a noiseless
+readout is perfectly corner-stable: all rings share their routing
+delays, so a supply or temperature excursion rescales every period by
+the same pair of positive factors and the frequency *ordering* — all a
+comparison PUF sees — cannot change.  Residual bit flips are therefore
+a readout-noise effect, not an environmental one.  Second, the paper's
+own *sequential* placement breaks that symmetry: rings straddling a LAB
+boundary pay two inter-LAB hops (~190 ps of systematic period offset
+against the ~9 ps process signal), which aliases the adjacent
+comparison bits and visibly depresses uniqueness — placement discipline
+matters more for identity than it does for entropy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.fpga.voltage import SupplySpec
+from repro.puf import (
+    PufDesign,
+    authentication_report,
+    enroll_population,
+    measure_population,
+    score_population,
+)
+from repro.stats.puf import hamming_distance, mean_pairwise_hamming
+
+
+def run(
+    devices: int = 256,
+    ring_count: int = 16,
+    stage_count: int = 3,
+    measure_periods: int = 2048,
+    seed: int = 11,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Score one simulated population and the placement-policy contrast."""
+    noisy_design = PufDesign(
+        ring_count=ring_count,
+        stage_count=stage_count,
+        measure_periods=measure_periods,
+    )
+    score = score_population(
+        devices, design=noisy_design, seed=seed, jobs=jobs, progress=progress
+    )
+
+    # The deterministic limit: a noiseless readout of the same design
+    # must reproduce enrollment bit for bit, stressed corner included.
+    clean_design = PufDesign(ring_count=ring_count, stage_count=stage_count)
+    clean = measure_population(
+        devices,
+        design=clean_design,
+        corners=(SupplySpec(), SupplySpec(voltage_v=1.0)),
+        seed=seed,
+        jobs=jobs,
+    )
+    zero_noise_intra = float(
+        hamming_distance(clean.responses[0], clean.responses[1], fraction=True).mean()
+    )
+
+    # Authentication at the nominal corner under fresh readout noise.
+    noisy = measure_population(
+        devices,
+        design=noisy_design,
+        corners=(SupplySpec(), SupplySpec()),
+        seed=seed,
+        jobs=jobs,
+    )
+    auth = authentication_report(noisy.responses[0], noisy.responses[1])
+
+    # The paper's sequential placement, rings crossing LAB boundaries.
+    sequential = enroll_population(
+        devices,
+        design=PufDesign(
+            ring_count=2 * ring_count,
+            stage_count=stage_count,
+            placement_policy="sequential",
+        ),
+        seed=seed,
+        jobs=jobs,
+    )
+    sequential_inter = mean_pairwise_hamming(sequential.responses)
+
+    uniq = score.uniqueness
+    rows: List[Tuple] = [
+        ("inter-device HD (aligned)", f"{uniq.mean_inter_hd:.4f}", "0.5",
+         f"{devices} devices x {uniq.bit_length} bits"),
+        ("inter-device HD (sequential)", f"{sequential_inter:.4f}", "< aligned",
+         "LAB-boundary hops alias neighbor bits"),
+        ("bit-aliasing range", f"{uniq.aliasing_min:.3f}..{uniq.aliasing_max:.3f}",
+         "0.5", "per-bit one-rate"),
+        ("uniformity", f"{uniq.mean_uniformity:.4f}", "0.5", "per-device one-rate"),
+        ("intra-HD, zero noise", f"{zero_noise_intra:.4f}", "0",
+         "noiseless readout, 1.0 V corner included"),
+    ]
+    for row in score.reliability:
+        rows.append(
+            (f"intra-HD, {row.label}", f"{row.mean_intra_hd:.4f}", "~0",
+             f"worst device {row.max_intra_hd:.4f}")
+        )
+    rows.append(
+        ("authentication EER", f"{auth.eer:.4%}", "~0",
+         f"threshold {auth.eer_threshold}/{auth.bit_length} bits")
+    )
+
+    worst_corner_intra = max(row.mean_intra_hd for row in score.reliability)
+    checks = {
+        "inter_hd_in_band": 0.45 <= uniq.mean_inter_hd <= 0.55,
+        "zero_noise_intra_is_zero": zero_noise_intra == 0.0,
+        "corner_intra_small": worst_corner_intra < 0.05,
+        "aliasing_within_band": 0.2 <= uniq.aliasing_min and uniq.aliasing_max <= 0.8,
+        "eer_usable": auth.eer < 0.05,
+        "sequential_placement_aliases": sequential_inter < uniq.mean_inter_hd - 0.02,
+    }
+    return ExperimentResult(
+        experiment_id="EXT11",
+        title="RO-PUF population quality on the process model (extension)",
+        columns=("metric", "value", "ideal", "note"),
+        rows=rows,
+        paper_reference={
+            "basis": "Table II: per-LUT mismatch dominates ring-to-ring "
+            "frequency differences (sigma_local ~ 1.8%)",
+            "reading": "the same dispersion the paper rejects as TRNG "
+            "entropy is the PUF's identity signal",
+        },
+        checks=checks,
+        notes=(
+            "Aligned single-LAB placement makes a noiseless readout exactly "
+            "corner-invariant (shared routing => orderings are preserved "
+            "under the voltage/temperature delay rescaling); flips under "
+            "stress are readout-noise effects. The sequential row shows the "
+            "paper's own placement policy costing uniqueness through "
+            "routing-induced bit aliasing."
+        ),
+    )

@@ -21,6 +21,7 @@ from repro.experiments import (
     ext8_tradeoff,
     ext9_xored_baseline,
     ext10_fault_recovery,
+    ext11_puf_population,
     fig04_propagation,
     fig05_modes,
     fig07_charlie,
@@ -60,6 +61,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "EXT8": ext8_tradeoff.run,
     "EXT9": ext9_xored_baseline.run,
     "EXT10": ext10_fault_recovery.run,
+    "EXT11": ext11_puf_population.run,
     "ABL1": abl1_charlie.run,
     "ABL2": abl2_routing.run,
     "ABL3": abl3_process.run,

@@ -20,7 +20,7 @@ sigma of ~1.35 % (see ``repro.fpga.calibration``): the 3-stage IRO at
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -67,6 +67,60 @@ class DeviceVariation:
 
 
 @dataclasses.dataclass(frozen=True)
+class DeviceVariationBatch:
+    """A manufactured *population*: the stacked factors of ``n`` devices.
+
+    Row ``i`` holds the factors of device ``i``: ``global_factors[i]``
+    multiplies every delay in that device and ``lut_factors[i, j]``
+    additionally multiplies the delay of its LUT ``j``.  The stacked
+    layout is what the PUF enrollment kernel consumes — one fancy-index
+    per population instead of one Python loop per device.
+    """
+
+    global_factors: np.ndarray
+    lut_factors: np.ndarray
+
+    def __post_init__(self) -> None:
+        globals_ = np.asarray(self.global_factors, dtype=float)
+        luts = np.asarray(self.lut_factors, dtype=float)
+        if globals_.ndim != 1:
+            raise ValueError("global_factors must be one-dimensional (device,)")
+        if luts.ndim != 2:
+            raise ValueError("lut_factors must be two-dimensional (device, lut)")
+        if luts.shape[0] != globals_.shape[0]:
+            raise ValueError(
+                f"factor arrays disagree on the device count: "
+                f"{globals_.shape[0]} global rows vs {luts.shape[0]} LUT rows"
+            )
+        if globals_.size and (np.any(globals_ <= 0.0) or np.any(luts <= 0.0)):
+            raise ValueError("all process factors must be positive")
+
+    def __len__(self) -> int:
+        return int(np.asarray(self.global_factors).shape[0])
+
+    @property
+    def device_count(self) -> int:
+        return len(self)
+
+    @property
+    def lut_count(self) -> int:
+        return int(np.asarray(self.lut_factors).shape[1])
+
+    def device(self, index: int) -> DeviceVariation:
+        """The single-device view of row ``index``."""
+        return DeviceVariation(
+            global_factor=float(np.asarray(self.global_factors)[index]),
+            lut_factors=np.asarray(self.lut_factors, dtype=float)[index],
+        )
+
+    def stage_factors(self) -> np.ndarray:
+        """Combined ``(device, lut)`` multiplicative factors."""
+        return np.asarray(self.global_factors, dtype=float)[:, None] * np.asarray(
+            self.lut_factors, dtype=float
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class ProcessVariation:
     """Statistical model of the manufacturing spread of a device family.
 
@@ -99,6 +153,47 @@ class ProcessVariation:
         global_factor = _positive_normal(rng, self.global_sigma_rel, size=None)
         lut_factors = _positive_normal(rng, self.local_sigma_rel, size=lut_count)
         return DeviceVariation(global_factor=float(global_factor), lut_factors=np.atleast_1d(lut_factors))
+
+    def sample_device_batch(
+        self, lut_count: int, count: int, seed: SeedLike = None
+    ) -> DeviceVariationBatch:
+        """Manufacture ``count`` devices from per-device spawned streams.
+
+        Device ``i`` draws from child seed ``i`` of
+        :func:`repro.parallel.seeds.spawn_seeds` with exactly the draw
+        order of :meth:`sample_device`, so the batch is **bit-identical**
+        to a loop of ``sample_device`` calls over the same child seeds.
+        That identity is what makes chunked/parallel PUF enrollment
+        independent of chunk boundaries and job counts: any contiguous
+        slice of the population can be manufactured in any process and
+        still yield the same factors.
+        """
+        from repro.parallel.seeds import spawn_seeds
+
+        if count < 0:
+            raise ValueError(f"device count must be non-negative, got {count}")
+        return self.sample_devices(lut_count, spawn_seeds(seed, count))
+
+    def sample_devices(
+        self, lut_count: int, seeds: Sequence[Optional[int]]
+    ) -> DeviceVariationBatch:
+        """Manufacture one device per seed, stacked into a batch.
+
+        This is the chunk-level entry point of
+        :meth:`sample_device_batch`: the enrollment pipeline spawns the
+        whole population's child seeds once, then hands each worker its
+        contiguous slice.
+        """
+        if lut_count < 1:
+            raise ValueError(f"lut_count must be positive, got {lut_count}")
+        count = len(seeds)
+        global_factors = np.empty(count, dtype=float)
+        lut_factors = np.empty((count, lut_count), dtype=float)
+        for index, child in enumerate(seeds):
+            rng = make_rng(child)
+            global_factors[index] = _positive_normal(rng, self.global_sigma_rel, size=None)
+            lut_factors[index] = _positive_normal(rng, self.local_sigma_rel, size=lut_count)
+        return DeviceVariationBatch(global_factors=global_factors, lut_factors=lut_factors)
 
     @classmethod
     def none(cls) -> "ProcessVariation":

@@ -1,0 +1,212 @@
+"""PUF quality metrics: uniqueness, reliability, bit-aliasing.
+
+The three figures of merit of the RO-PUF literature (Maiti-Schaumont),
+computed population-shaped on top of :mod:`repro.stats.puf`:
+
+* **uniqueness** — mean inter-device Hamming distance, ideally 50 %:
+  two random devices should disagree on half their bits;
+* **reliability** — mean intra-device Hamming distance between the
+  enrolled reference and a re-measurement (fresh noise, or a stressed
+  voltage/temperature corner), ideally 0 %;
+* **bit-aliasing** — per-bit one-rate across devices; a bit pinned at
+  0 or 1 on every device carries no identity.
+
+The environmental corners reuse the fault library's stress models
+(:class:`~repro.faults.VoltageBrownoutFault`,
+:class:`~repro.faults.TemperatureRampFault`): the *same* physics knobs
+the supervised-TRNG campaign turns, here read out as identity stability
+instead of entropy health.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.device import TimingConstants
+from repro.fpga.process import ProcessVariation
+from repro.fpga.voltage import (
+    MAX_SWEEP_VOLTAGE,
+    MIN_SWEEP_VOLTAGE,
+    SupplySpec,
+)
+from repro.puf.enrollment import PufDesign, measure_population
+from repro.stats.puf import (
+    bit_aliasing,
+    hamming_distance,
+    mean_pairwise_hamming,
+    uniformity,
+)
+from repro.telemetry import default_registry, span
+
+
+def stress_corners() -> Tuple[Tuple[str, SupplySpec], ...]:
+    """The labelled environmental corners a fielded PUF must survive.
+
+    Voltage corners span the paper's Fig. 8 sweep: the brownout end
+    comes from :class:`~repro.faults.VoltageBrownoutFault` at the
+    severity whose static sag lands on the 1.0 V sweep floor, the hot
+    corner from :class:`~repro.faults.TemperatureRampFault` at its
+    post-ramp plateau.
+    """
+    from repro.faults import TemperatureRampFault, VoltageBrownoutFault
+
+    brownout = VoltageBrownoutFault(severity=0.4444444444444444)
+    sagged_v = brownout.effect_at(10.0).supply_v
+    assert sagged_v is not None
+    ramp = TemperatureRampFault(severity=0.6)
+    plateau_c = ramp.effect_at(10.0 * ramp.ramp_s).temperature_c
+    assert plateau_c is not None
+    return (
+        ("brownout 1.0V", SupplySpec(voltage_v=max(sagged_v, MIN_SWEEP_VOLTAGE))),
+        ("overdrive 1.4V", SupplySpec(voltage_v=MAX_SWEEP_VOLTAGE)),
+        (f"hot {plateau_c:.0f}C", SupplySpec(temperature_c=plateau_c)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class UniquenessReport:
+    """Inter-device statistics of one enrolled population."""
+
+    device_count: int
+    bit_length: int
+    mean_inter_hd: float
+    aliasing_mean: float
+    aliasing_min: float
+    aliasing_max: float
+    mean_uniformity: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.device_count} devices x {self.bit_length} bits: "
+            f"inter-HD {self.mean_inter_hd:.4f} (ideal 0.5), "
+            f"aliasing {self.aliasing_min:.3f}..{self.aliasing_max:.3f}, "
+            f"uniformity {self.mean_uniformity:.4f}"
+        )
+
+
+def score_uniqueness(responses: np.ndarray) -> UniquenessReport:
+    """Uniqueness + aliasing of a ``(device, bit)`` response matrix."""
+    aliasing = bit_aliasing(responses)
+    return UniquenessReport(
+        device_count=int(np.asarray(responses).shape[0]),
+        bit_length=int(np.asarray(responses).shape[1]),
+        mean_inter_hd=mean_pairwise_hamming(responses),
+        aliasing_mean=float(aliasing.mean()),
+        aliasing_min=float(aliasing.min()),
+        aliasing_max=float(aliasing.max()),
+        mean_uniformity=float(uniformity(responses).mean()),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityReport:
+    """Intra-device stability of one re-measurement against enrollment."""
+
+    label: str
+    voltage_v: float
+    temperature_c: float
+    mean_intra_hd: float
+    max_intra_hd: float
+    unstable_device_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.label}: intra-HD mean {self.mean_intra_hd:.4f}, "
+            f"worst device {self.max_intra_hd:.4f}, "
+            f"{self.unstable_device_fraction:.2%} devices with any flip"
+        )
+
+
+def score_reliability(
+    reference: np.ndarray,
+    remeasured: np.ndarray,
+    label: str,
+    corner: SupplySpec,
+) -> ReliabilityReport:
+    """Intra-device HD between enrollment and one re-measurement."""
+    intra = hamming_distance(reference, remeasured, fraction=True)
+    return ReliabilityReport(
+        label=label,
+        voltage_v=corner.voltage_v,
+        temperature_c=corner.temperature_c,
+        mean_intra_hd=float(intra.mean()),
+        max_intra_hd=float(intra.max()),
+        unstable_device_fraction=float((intra > 0).mean()),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PopulationScore:
+    """The full scorecard: uniqueness plus one reliability row per corner."""
+
+    design: PufDesign
+    uniqueness: UniquenessReport
+    reliability: Tuple[ReliabilityReport, ...]
+
+    def render(self) -> str:
+        lines = [f"design: {self.design.describe()}", self.uniqueness.describe(), ""]
+        lines.append(
+            f"{'corner':18}  {'V':>5}  {'T [C]':>6}  {'intra-HD':>9}  "
+            f"{'worst':>7}  {'unstable':>9}"
+        )
+        for row in self.reliability:
+            lines.append(
+                f"{row.label:18}  {row.voltage_v:5.2f}  {row.temperature_c:6.1f}  "
+                f"{row.mean_intra_hd:9.4f}  {row.max_intra_hd:7.4f}  "
+                f"{row.unstable_device_fraction:9.2%}"
+            )
+        return "\n".join(lines)
+
+
+def score_population(
+    device_count: int,
+    *,
+    design: Optional[PufDesign] = None,
+    corners: Optional[Sequence[Tuple[str, SupplySpec]]] = None,
+    seed: Optional[int] = 0,
+    process: Optional[ProcessVariation] = None,
+    constants: Optional[TimingConstants] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> PopulationScore:
+    """Enroll, re-measure and score one population end to end.
+
+    Measures every device once at the nominal corner (the enrollment
+    reference), once more at the nominal corner under fresh readout
+    noise (the ``re-measure`` row) and once per stress corner — all in
+    a single chunked pass, so the expensive process sampling happens
+    exactly once per device.
+    """
+    design = design if design is not None else PufDesign()
+    labelled = list(corners) if corners is not None else list(stress_corners())
+    nominal = SupplySpec()
+    all_corners = [nominal, nominal] + [corner for _, corner in labelled]
+    with span("puf_score", devices=device_count, corners=len(all_corners)):
+        measurement = measure_population(
+            device_count,
+            design=design,
+            corners=all_corners,
+            seed=seed,
+            process=process,
+            constants=constants,
+            jobs=jobs,
+            progress=progress,
+        )
+        reference = measurement.responses[0]
+        rows: List[ReliabilityReport] = [
+            score_reliability(
+                reference, measurement.responses[1], "re-measure", nominal
+            )
+        ]
+        for (label, corner), remeasured in zip(labelled, measurement.responses[2:]):
+            rows.append(score_reliability(reference, remeasured, label, corner))
+        score = PopulationScore(
+            design=design,
+            uniqueness=score_uniqueness(reference),
+            reliability=tuple(rows),
+        )
+    default_registry().counter("repro.puf.scores").inc()
+    return score

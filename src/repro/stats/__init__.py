@@ -11,6 +11,8 @@
   output.
 * :mod:`repro.stats.randomness` — a compact randomness test battery
   (monobit, block frequency, runs, autocorrelation, ...).
+* :mod:`repro.stats.puf` — population-shaped PUF response statistics
+  (Hamming distances, bit-aliasing, uniformity) for ``repro.puf``.
 """
 
 from repro.stats.descriptive import (
@@ -61,6 +63,13 @@ from repro.stats.randomness import (
     cumulative_sums_test,
     run_battery,
 )
+from repro.stats.puf import (
+    bit_aliasing,
+    hamming_distance,
+    mean_pairwise_hamming,
+    pairwise_hamming,
+    uniformity,
+)
 
 __all__ = [
     "AccumulationProfile",
@@ -101,4 +110,9 @@ __all__ = [
     "autocorrelation_test",
     "cumulative_sums_test",
     "run_battery",
+    "bit_aliasing",
+    "hamming_distance",
+    "mean_pairwise_hamming",
+    "pairwise_hamming",
+    "uniformity",
 ]

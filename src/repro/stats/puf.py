@@ -1,0 +1,132 @@
+"""Population-shaped PUF response statistics.
+
+All helpers operate on a *response matrix*: a 2-D ``(device, bit)``
+array of 0/1 values, the shape produced by
+:func:`repro.puf.topology.derive_response_bits`.  Everything is pure
+numpy — no Python loops — so the estimators stay usable at the
+million-device populations the enrollment pipeline produces:
+
+* :func:`hamming_distance` — element-wise intra-device distance between
+  two measurements (reliability);
+* :func:`bit_aliasing` / :func:`uniformity` — per-bit and per-device
+  one-rates (Maiti-Schaumont style);
+* :func:`mean_pairwise_hamming` — the **exact** mean inter-device
+  Hamming distance over all C(n, 2) pairs in O(n * bits), via the
+  per-bit identity ``sum_b k_b * (n - k_b)`` where ``k_b`` counts the
+  ones of bit ``b``;
+* :func:`pairwise_hamming` — the pair *distribution* (all pairs, or a
+  uniform pair sample when C(n, 2) is too large to materialize).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.noise import SeedLike, make_rng
+
+
+def _as_response_matrix(responses, *, min_devices: int = 0) -> np.ndarray:
+    """Validate and normalize a ``(device, bit)`` 0/1 matrix."""
+    matrix = np.asarray(responses)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"responses must be a 2-D (device, bit) array, got shape {matrix.shape}"
+        )
+    if matrix.shape[1] == 0:
+        raise ValueError("responses carry no bits (zero-width rows)")
+    if matrix.shape[0] < min_devices:
+        raise ValueError(
+            f"need at least {min_devices} device(s), got {matrix.shape[0]}"
+        )
+    if matrix.size and (matrix.min() < 0 or matrix.max() > 1):
+        raise ValueError("response bits must be 0/1")
+    return matrix.astype(np.uint8, copy=False)
+
+
+def hamming_distance(first, second, *, fraction: bool = False) -> np.ndarray:
+    """Hamming distance along the last axis, broadcasting like numpy.
+
+    With two ``(device, bit)`` matrices this is the per-device
+    *intra-device* distance between two measurements of the same
+    population.  ``fraction=True`` normalizes by the bit width.
+    """
+    left = np.asarray(first)
+    right = np.asarray(second)
+    if left.shape[-1] != right.shape[-1]:
+        raise ValueError(
+            f"bit widths disagree: {left.shape[-1]} vs {right.shape[-1]}"
+        )
+    if left.shape[-1] == 0:
+        raise ValueError("responses carry no bits (zero-width rows)")
+    distance = np.count_nonzero(left != right, axis=-1)
+    if fraction:
+        return distance / float(left.shape[-1])
+    return distance
+
+
+def bit_aliasing(responses) -> np.ndarray:
+    """Per-bit one-rate across the population (ideal: 0.5 everywhere).
+
+    A bit aliased near 0 or 1 is (nearly) the same on every device —
+    it spends enrollment storage without contributing identity.
+    """
+    matrix = _as_response_matrix(responses, min_devices=1)
+    return matrix.mean(axis=0)
+
+
+def uniformity(responses) -> np.ndarray:
+    """Per-device one-rate across its response bits (ideal: 0.5)."""
+    matrix = _as_response_matrix(responses, min_devices=1)
+    return matrix.mean(axis=1)
+
+
+def mean_pairwise_hamming(responses, *, fraction: bool = True) -> float:
+    """Exact mean Hamming distance over all C(n, 2) device pairs.
+
+    Bit ``b`` with ``k_b`` ones disagrees on exactly ``k_b * (n - k_b)``
+    of the unordered pairs, so the all-pairs mean needs no pair
+    enumeration — O(n * bits) instead of O(n^2 * bits).
+    """
+    matrix = _as_response_matrix(responses, min_devices=2)
+    device_count = matrix.shape[0]
+    ones = matrix.sum(axis=0, dtype=np.int64)
+    disagreements = ones * (device_count - ones)
+    pair_count = device_count * (device_count - 1) // 2
+    mean_bits = float(disagreements.sum(dtype=np.int64)) / pair_count
+    if fraction:
+        return mean_bits / matrix.shape[1]
+    return mean_bits
+
+
+def pairwise_hamming(
+    responses,
+    *,
+    fraction: bool = True,
+    max_pairs: int = 200_000,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Inter-device Hamming distances of distinct device pairs.
+
+    All C(n, 2) pairs when that fits under ``max_pairs``; otherwise a
+    uniform sample of ``max_pairs`` ordered pairs ``(i, j)``, ``i != j``
+    (sampling with replacement — duplicate pairs are vanishingly likely
+    at the population sizes where sampling kicks in).  Use
+    :func:`mean_pairwise_hamming` when only the mean is needed: it is
+    exact at any scale.
+    """
+    matrix = _as_response_matrix(responses, min_devices=2)
+    device_count = matrix.shape[0]
+    if max_pairs < 1:
+        raise ValueError(f"max_pairs must be positive, got {max_pairs}")
+    total_pairs = device_count * (device_count - 1) // 2
+    if total_pairs <= max_pairs:
+        first, second = np.triu_indices(device_count, k=1)
+    else:
+        rng = make_rng(seed)
+        first = rng.integers(0, device_count, size=max_pairs)
+        second = rng.integers(0, device_count - 1, size=max_pairs)
+        second = np.where(second >= first, second + 1, second)
+    distances = np.count_nonzero(matrix[first] != matrix[second], axis=-1)
+    if fraction:
+        return distances / float(matrix.shape[1])
+    return distances

@@ -986,3 +986,131 @@ register_claim(
         check=_check_ext_total_failure,
     )
 )
+
+
+# ----------------------------------------------------------------------
+# PUF — the process model as an identity source (EXT11 extension)
+# ----------------------------------------------------------------------
+def _check_puf_uniq(seed: int, params: Mapping[str, Any]) -> Evidence:
+    from repro.puf import PufDesign, enroll_population
+    from repro.stats.puf import mean_pairwise_hamming
+
+    design = PufDesign(
+        ring_count=int(params["rings"]), stage_count=int(params["stages"])
+    )
+    inter_hds: List[float] = []
+    for sub in _subseeds(seed, int(params["repeats"])):
+        enrollment = enroll_population(int(params["devices"]), design=design, seed=sub)
+        inter_hds.append(mean_pairwise_hamming(enrollment.responses))
+    decision = ci_overlap(
+        inter_hds, float(params["band_low"]), float(params["band_high"])
+    )
+    return Evidence(
+        passed=decision.passed,
+        observed={"inter_hds": inter_hds, "mean": decision.mean},
+        detail="mean inter-device Hamming distance; " + decision.describe(),
+    )
+
+
+register_claim(
+    ClaimSpec(
+        claim_id="PUF-UNIQ",
+        title="RO-PUF inter-device Hamming distance sits at 50%",
+        paper_ref="EXT11 PUF extension (Table II process dispersion as identity)",
+        criterion="CI overlap of the all-pairs mean inter-HD with the ideal band",
+        estimator="exact all-pairs mean HD over freshly enrolled populations",
+        tiers={
+            "quick": {
+                "devices": 256, "repeats": 3, "rings": 16, "stages": 3,
+                "band_low": 0.45, "band_high": 0.55,
+            },
+            "full": {
+                "devices": 2048, "repeats": 5, "rings": 32, "stages": 3,
+                "band_low": 0.45, "band_high": 0.55,
+            },
+        },
+        check=_check_puf_uniq,
+    )
+)
+
+
+def _check_puf_stable(seed: int, params: Mapping[str, Any]) -> Evidence:
+    import numpy as np
+
+    from repro.fpga.voltage import SupplySpec
+    from repro.puf import PufDesign, measure_population
+    from repro.stats.puf import hamming_distance
+
+    design = PufDesign(
+        ring_count=int(params["rings"]),
+        stage_count=int(params["stages"]),
+        measure_periods=0,
+    )
+    devices = int(params["devices"])
+    stressed = SupplySpec(
+        voltage_v=float(params["stress_v"]),
+        temperature_c=float(params["stress_c"]),
+    )
+    # Same population, three noiseless measurements: nominal twice
+    # (distinct readout-noise streams, which must not matter at zero
+    # noise) and one stressed corner.
+    first = measure_population(
+        devices, design=design, corners=(SupplySpec(), stressed), seed=seed
+    )
+    second = measure_population(
+        devices,
+        design=design,
+        corners=(SupplySpec(),),
+        seed=seed,
+        measurement_seed=seed + 1,
+    )
+    remeasure_hd = float(
+        hamming_distance(first.responses[0], second.responses[0]).sum()
+    )
+    corner_hd = float(hamming_distance(first.responses[0], first.responses[1]).sum())
+    reenrolled = measure_population(
+        devices, design=design, corners=(SupplySpec(),), seed=seed
+    )
+    invariants = {
+        "re-measurement is bit-identical (intra-HD == 0)": remeasure_hd == 0.0,
+        "stressed corner is bit-identical (intra-HD == 0)": corner_hd == 0.0,
+        "re-enrollment from the same seed is bit-identical": bool(
+            np.array_equal(first.responses[0], reenrolled.responses[0])
+        ),
+    }
+    broken = [name for name, held in invariants.items() if not held]
+    return Evidence(
+        passed=not broken,
+        observed={
+            "devices": devices,
+            "remeasure_hd_bits": remeasure_hd,
+            "corner_hd_bits": corner_hd,
+        },
+        detail=(
+            "zero-noise enrollment is deterministic and corner-stable"
+            if not broken
+            else f"broken invariants: {broken}"
+        ),
+    )
+
+
+register_claim(
+    ClaimSpec(
+        claim_id="PUF-STABLE",
+        title="zero-noise enrollment is deterministic: intra-device HD == 0",
+        paper_ref="EXT11 PUF extension (aligned-placement corner invariance)",
+        criterion="invariant conjunction: exact bit equality across re-measurements",
+        estimator="noiseless re-measurement, stressed corner, and re-enrollment",
+        tiers={
+            "quick": {
+                "devices": 192, "rings": 16, "stages": 3,
+                "stress_v": 1.0, "stress_c": 85.0,
+            },
+            "full": {
+                "devices": 1024, "rings": 32, "stages": 3,
+                "stress_v": 1.0, "stress_c": 85.0,
+            },
+        },
+        check=_check_puf_stable,
+    )
+)

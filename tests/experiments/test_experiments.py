@@ -35,6 +35,7 @@ class TestRegistry:
             "EXT8",
             "EXT9",
             "EXT10",
+            "EXT11",
             "ABL1",
             "ABL2",
             "ABL3",
@@ -164,6 +165,13 @@ class TestShrunkExperiments:
     def test_abl3(self):
         result = run_experiment("ABL3", board_count=24)
         assert result.all_checks_pass, result.failed_checks
+
+    def test_ext11(self):
+        result = run_experiment("EXT11", devices=128)
+        assert result.all_checks_pass, result.failed_checks
+        metrics = [row[0] for row in result.rows]
+        assert "inter-device HD (aligned)" in metrics
+        assert "authentication EER" in metrics
 
     def test_ext10(self):
         result = run_experiment("EXT10", severities=(0.5, 1.0))

@@ -1,0 +1,107 @@
+"""Batch device manufacturing: bit-identity against the scalar sampler."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.calibration import TABLE2_PROCESS
+from repro.fpga.process import DeviceVariationBatch, ProcessVariation
+from repro.parallel.seeds import spawn_seeds
+
+
+class TestSampleDeviceBatch:
+    def test_bit_identity_with_sample_device_loop(self):
+        """The batch must reproduce a loop of sample_device calls exactly.
+
+        Same spawned child seeds, same draw order — this is the contract
+        that makes chunked PUF enrollment independent of chunk
+        boundaries and job counts.
+        """
+        process = TABLE2_PROCESS
+        batch = process.sample_device_batch(48, 16, seed=1234)
+        for index, child in enumerate(spawn_seeds(1234, 16)):
+            device = process.sample_device(48, child)
+            assert batch.global_factors[index] == device.global_factor
+            assert np.array_equal(batch.lut_factors[index], device.lut_factors)
+
+    def test_device_accessor_matches_scalar_type(self):
+        batch = TABLE2_PROCESS.sample_device_batch(8, 3, seed=5)
+        device = batch.device(1)
+        assert device.lut_count == 8
+        assert device.global_factor == batch.global_factors[1]
+
+    def test_stage_factors_combine_global_and_local(self):
+        batch = TABLE2_PROCESS.sample_device_batch(4, 6, seed=9)
+        combined = batch.stage_factors()
+        assert combined.shape == (6, 4)
+        assert np.allclose(
+            combined, batch.global_factors[:, None] * batch.lut_factors
+        )
+        for index in range(6):
+            assert np.allclose(combined[index], batch.device(index).stage_factors())
+
+    def test_deterministic_per_seed(self):
+        first = TABLE2_PROCESS.sample_device_batch(12, 10, seed=7)
+        second = TABLE2_PROCESS.sample_device_batch(12, 10, seed=7)
+        assert np.array_equal(first.global_factors, second.global_factors)
+        assert np.array_equal(first.lut_factors, second.lut_factors)
+        other = TABLE2_PROCESS.sample_device_batch(12, 10, seed=8)
+        assert not np.array_equal(first.lut_factors, other.lut_factors)
+
+    def test_prefix_stability(self):
+        """A smaller population is a prefix of a larger one (same root)."""
+        small = TABLE2_PROCESS.sample_device_batch(6, 4, seed=21)
+        large = TABLE2_PROCESS.sample_device_batch(6, 9, seed=21)
+        assert np.array_equal(small.lut_factors, large.lut_factors[:4])
+
+    def test_sample_devices_slice_equivalence(self):
+        """Chunked manufacturing over seed slices matches the full batch."""
+        seeds = spawn_seeds(77, 10)
+        full = TABLE2_PROCESS.sample_devices(5, seeds)
+        left = TABLE2_PROCESS.sample_devices(5, seeds[:4])
+        right = TABLE2_PROCESS.sample_devices(5, seeds[4:])
+        assert np.array_equal(
+            full.lut_factors, np.concatenate([left.lut_factors, right.lut_factors])
+        )
+
+    def test_zero_sigma_process_is_nominal(self):
+        batch = ProcessVariation.none().sample_device_batch(7, 5, seed=1)
+        assert np.array_equal(batch.global_factors, np.ones(5))
+        assert np.array_equal(batch.lut_factors, np.ones((5, 7)))
+
+    def test_empty_batch_allowed(self):
+        batch = TABLE2_PROCESS.sample_device_batch(4, 0, seed=3)
+        assert len(batch) == 0
+        assert batch.lut_factors.shape == (0, 4)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="lut_count"):
+            TABLE2_PROCESS.sample_device_batch(0, 3, seed=1)
+        with pytest.raises(ValueError, match="device count"):
+            TABLE2_PROCESS.sample_device_batch(4, -1, seed=1)
+
+
+class TestDeviceVariationBatch:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            DeviceVariationBatch(
+                global_factors=np.ones((2, 2)), lut_factors=np.ones((2, 3))
+            )
+        with pytest.raises(ValueError, match="two-dimensional"):
+            DeviceVariationBatch(global_factors=np.ones(2), lut_factors=np.ones(3))
+        with pytest.raises(ValueError, match="device count"):
+            DeviceVariationBatch(
+                global_factors=np.ones(2), lut_factors=np.ones((3, 4))
+            )
+
+    def test_rejects_non_positive_factors(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeviceVariationBatch(
+                global_factors=np.array([1.0, 0.0]), lut_factors=np.ones((2, 3))
+            )
+
+    def test_counts(self):
+        batch = DeviceVariationBatch(
+            global_factors=np.ones(3), lut_factors=np.ones((3, 5))
+        )
+        assert batch.device_count == 3
+        assert batch.lut_count == 5

@@ -1,0 +1,70 @@
+"""Property-based tests for the RO-PUF population workload."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.voltage import SupplySpec
+from repro.puf import (
+    PufDesign,
+    enroll_population,
+    measure_population,
+)
+from repro.stats.puf import mean_pairwise_hamming, pairwise_hamming
+
+# small enrollments only: each hypothesis example runs the full
+# sample -> frequency -> response pipeline
+small_designs = st.builds(
+    PufDesign,
+    ring_count=st.sampled_from([4, 8, 16]),
+    stage_count=st.sampled_from([3, 5]),
+    topology=st.sampled_from(["neighbor", "allpairs"]),
+)
+seeds = st.integers(0, 2**32 - 1)
+device_counts = st.integers(3, 24)
+
+
+class TestZeroNoiseStability:
+    @settings(max_examples=10, deadline=None)
+    @given(small_designs, seeds, device_counts)
+    def test_remeasurement_intra_hd_is_zero(self, design, seed, devices):
+        """Noiseless measurement is a pure function of the device: re-measuring
+        the same population (fresh measurement seed, stressed corner) flips
+        no response bit."""
+        measurement = measure_population(
+            devices,
+            design=design,
+            corners=(SupplySpec(), SupplySpec(voltage_v=1.0, temperature_c=85.0)),
+            seed=seed,
+            measurement_seed=seed + 1,
+        )
+        assert np.array_equal(measurement.responses[0], measurement.responses[1])
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_designs, seeds, device_counts)
+    def test_seed_stable_reenrollment_is_bit_identical(self, design, seed, devices):
+        first = enroll_population(devices, design=design, seed=seed)
+        second = enroll_population(devices, design=design, seed=seed)
+        assert np.array_equal(first.responses, second.responses)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(small_designs, seeds, st.integers(8, 24), seeds)
+    def test_device_order_does_not_change_inter_hd_distribution(
+        self, design, seed, devices, permutation_seed
+    ):
+        """Relabeling devices permutes response rows but leaves the
+        population-level uniqueness statistics untouched."""
+        responses = enroll_population(devices, design=design, seed=seed).responses
+        order = np.random.default_rng(permutation_seed).permutation(devices)
+        shuffled = responses[order]
+
+        # rows are the same multiset, just reordered
+        assert np.array_equal(np.sort(shuffled, axis=0), np.sort(responses, axis=0))
+        # the pairwise-HD multiset (hence mean and histogram) is unchanged
+        assert np.array_equal(
+            np.sort(pairwise_hamming(shuffled, fraction=False)),
+            np.sort(pairwise_hamming(responses, fraction=False)),
+        )
+        assert mean_pairwise_hamming(shuffled) == mean_pairwise_hamming(responses)

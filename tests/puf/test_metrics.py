@@ -1,0 +1,86 @@
+"""Metrics: uniqueness/reliability scoring and the corner set."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.voltage import (
+    MAX_SWEEP_VOLTAGE,
+    MIN_SWEEP_VOLTAGE,
+    NOMINAL_TEMPERATURE_C,
+    SupplySpec,
+)
+from repro.puf import PufDesign
+from repro.puf.metrics import (
+    score_population,
+    score_reliability,
+    score_uniqueness,
+    stress_corners,
+)
+
+
+class TestStressCorners:
+    def test_spans_the_fig8_sweep_and_heat(self):
+        corners = dict(stress_corners())
+        voltages = [corner.voltage_v for corner in corners.values()]
+        temperatures = [corner.temperature_c for corner in corners.values()]
+        assert min(voltages) == pytest.approx(MIN_SWEEP_VOLTAGE)
+        assert max(voltages) == pytest.approx(MAX_SWEEP_VOLTAGE)
+        assert max(temperatures) > NOMINAL_TEMPERATURE_C + 50
+
+
+class TestScoreUniqueness:
+    def test_ideal_population(self):
+        rng = np.random.default_rng(0)
+        responses = rng.integers(0, 2, size=(600, 64)).astype(np.uint8)
+        report = score_uniqueness(responses)
+        assert report.mean_inter_hd == pytest.approx(0.5, abs=0.02)
+        assert 0.3 < report.aliasing_min <= report.aliasing_max < 0.7
+        assert report.device_count == 600
+        assert report.bit_length == 64
+
+    def test_aliased_population(self):
+        responses = np.ones((50, 16), dtype=np.uint8)
+        report = score_uniqueness(responses)
+        assert report.mean_inter_hd == 0.0
+        assert report.aliasing_min == report.aliasing_max == 1.0
+
+
+class TestScoreReliability:
+    def test_counts_flipped_devices(self):
+        reference = np.zeros((4, 8), dtype=np.uint8)
+        remeasured = reference.copy()
+        remeasured[1, :2] = 1  # one device with two flips
+        report = score_reliability(reference, remeasured, "test", SupplySpec())
+        assert report.mean_intra_hd == pytest.approx(2 / (8 * 4))
+        assert report.max_intra_hd == pytest.approx(0.25)
+        assert report.unstable_device_fraction == pytest.approx(0.25)
+
+
+class TestScorePopulation:
+    def test_noiseless_scorecard_is_perfectly_stable(self):
+        score = score_population(
+            60, design=PufDesign(ring_count=8, stage_count=3), seed=4
+        )
+        assert len(score.reliability) == 4  # re-measure + three stress corners
+        assert all(row.mean_intra_hd == 0.0 for row in score.reliability)
+        assert 0.3 < score.uniqueness.mean_inter_hd < 0.7
+
+    def test_noisy_scorecard_renders(self):
+        score = score_population(
+            80,
+            design=PufDesign(ring_count=8, stage_count=3, measure_periods=512),
+            seed=4,
+        )
+        rendered = score.render()
+        assert "re-measure" in rendered
+        assert "inter-HD" in rendered
+        assert any(row.mean_intra_hd > 0.0 for row in score.reliability)
+
+    def test_custom_corner_labels(self):
+        score = score_population(
+            30,
+            design=PufDesign(ring_count=4, stage_count=3),
+            corners=[("cold", SupplySpec(temperature_c=-40.0))],
+            seed=1,
+        )
+        assert [row.label for row in score.reliability] == ["re-measure", "cold"]

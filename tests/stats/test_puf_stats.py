@@ -1,0 +1,118 @@
+"""Population-shaped PUF statistics: exactness and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.stats.puf import (
+    bit_aliasing,
+    hamming_distance,
+    mean_pairwise_hamming,
+    pairwise_hamming,
+    uniformity,
+)
+
+
+class TestHammingDistance:
+    def test_counts_disagreements(self):
+        a = np.array([[0, 1, 1, 0], [1, 1, 0, 0]], dtype=np.uint8)
+        b = np.array([[0, 0, 1, 1], [1, 1, 0, 0]], dtype=np.uint8)
+        assert np.array_equal(hamming_distance(a, b), [2, 0])
+        assert np.allclose(hamming_distance(a, b, fraction=True), [0.5, 0.0])
+
+    def test_broadcasts_one_row(self):
+        population = np.array([[0, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        assert np.array_equal(
+            hamming_distance(population, np.array([0, 0], dtype=np.uint8)), [0, 1, 2]
+        )
+
+    def test_rejects_width_mismatch_and_empty(self):
+        with pytest.raises(ValueError, match="widths disagree"):
+            hamming_distance(np.zeros((2, 3)), np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="no bits"):
+            hamming_distance(np.zeros((2, 0)), np.zeros((2, 0)))
+
+
+class TestMeanPairwiseHamming:
+    def test_matches_explicit_enumeration(self):
+        rng = np.random.default_rng(3)
+        responses = rng.integers(0, 2, size=(9, 13)).astype(np.uint8)
+        explicit = [
+            np.count_nonzero(responses[i] != responses[j])
+            for i in range(9)
+            for j in range(i + 1, 9)
+        ]
+        assert mean_pairwise_hamming(responses, fraction=False) == pytest.approx(
+            np.mean(explicit)
+        )
+        assert mean_pairwise_hamming(responses) == pytest.approx(
+            np.mean(explicit) / 13
+        )
+
+    def test_all_equal_bits_give_zero(self):
+        responses = np.ones((5, 8), dtype=np.uint8)
+        assert mean_pairwise_hamming(responses) == 0.0
+
+    def test_complementary_pair_gives_one(self):
+        responses = np.array([[0, 0, 0], [1, 1, 1]], dtype=np.uint8)
+        assert mean_pairwise_hamming(responses) == 1.0
+
+    def test_single_device_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            mean_pairwise_hamming(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            mean_pairwise_hamming(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="no bits"):
+            mean_pairwise_hamming(np.zeros((3, 0), dtype=np.uint8))
+
+
+class TestPairwiseHamming:
+    def test_exact_when_pairs_fit(self):
+        rng = np.random.default_rng(11)
+        responses = rng.integers(0, 2, size=(12, 7)).astype(np.uint8)
+        distances = pairwise_hamming(responses)
+        assert distances.shape == (12 * 11 // 2,)
+        assert distances.mean() == pytest.approx(mean_pairwise_hamming(responses))
+
+    def test_sampled_mode_is_distinct_pairs(self):
+        rng = np.random.default_rng(12)
+        responses = rng.integers(0, 2, size=(200, 9)).astype(np.uint8)
+        distances = pairwise_hamming(responses, max_pairs=500, seed=1)
+        assert distances.shape == (500,)
+        # sampled mean tracks the exact mean
+        assert distances.mean() == pytest.approx(
+            mean_pairwise_hamming(responses), abs=0.05
+        )
+
+    def test_sampled_mode_deterministic_per_seed(self):
+        responses = np.random.default_rng(0).integers(0, 2, size=(100, 5))
+        first = pairwise_hamming(responses, max_pairs=50, seed=4)
+        second = pairwise_hamming(responses, max_pairs=50, seed=4)
+        assert np.array_equal(first, second)
+
+
+class TestAliasingAndUniformity:
+    def test_bit_aliasing_is_per_bit_one_rate(self):
+        responses = np.array([[1, 0, 1], [1, 1, 0], [1, 0, 0], [1, 1, 1]])
+        assert np.allclose(bit_aliasing(responses), [1.0, 0.5, 0.5])
+
+    def test_uniformity_is_per_device_one_rate(self):
+        responses = np.array([[1, 1, 1, 1], [0, 0, 0, 0], [1, 0, 1, 0]])
+        assert np.allclose(uniformity(responses), [1.0, 0.0, 0.5])
+
+    def test_single_device_allowed(self):
+        assert np.allclose(bit_aliasing(np.array([[1, 0]])), [1.0, 0.0])
+        assert np.allclose(uniformity(np.array([[1, 0]])), [0.5])
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            bit_aliasing(np.zeros((0, 3), dtype=np.uint8))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            bit_aliasing(np.array([[0, 2]]))
+        with pytest.raises(ValueError, match="2-D"):
+            uniformity(np.array([0, 1, 1]))

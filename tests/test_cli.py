@@ -596,3 +596,55 @@ class TestDashCommand:
         assert args.obs_port is None
         assert args.obs_log is None
         assert args.drift is False
+
+
+class TestPufCommand:
+    def test_enroll_smoke(self, capsys):
+        assert main(["puf", "enroll", "--devices", "200", "--rings", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "enrolled 200 devices" in output
+        assert "inter-device HD" in output
+
+    def test_score_smoke(self, capsys):
+        assert main(
+            ["puf", "score", "--devices", "80", "--rings", "8", "--periods", "512"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "re-measure" in output
+        assert "brownout" in output
+
+    def test_auth_smoke(self, capsys):
+        assert main(
+            ["puf", "auth", "--devices", "80", "--rings", "8", "--periods", "1024"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "EER" in output
+        assert "FAR" in output
+
+    def test_lehmer_topology_accepted(self, capsys):
+        assert main(
+            [
+                "puf",
+                "enroll",
+                "--devices",
+                "50",
+                "--rings",
+                "16",
+                "--topology",
+                "lehmer",
+                "--group-size",
+                "8",
+            ]
+        ) == 0
+        assert "lehmer" in capsys.readouterr().out
+
+    def test_invalid_design_fails_cleanly(self, capsys):
+        assert main(
+            ["puf", "enroll", "--devices", "10", "--rings", "10", "--topology", "lehmer"]
+        ) == 1
+        assert "multiple" in capsys.readouterr().err
+
+    def test_verify_accepts_comma_separated_claims(self, capsys):
+        assert main(["verify", "--claims", "C6,EXT-FAILSAFE", "--seeds", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "C6" in output and "EXT-FAILSAFE" in output
