@@ -1,0 +1,12 @@
+"""EXT12 — differential vs counter jitter measurement reproduction run.
+
+Regenerates the EXT12 extension table (worst-case ripple sweep over the
+co-located pair) and asserts its structural checks, timed under the CI
+benchmark gate.
+"""
+
+from conftest import run_reproduction
+
+
+def bench_ext12_differential(benchmark):
+    run_reproduction(benchmark, "EXT12")

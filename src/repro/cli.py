@@ -20,6 +20,11 @@ Commands
     Run a fault scenario against the supervised TRNG runtime and print
     the structured event log (plus the EXT10 coverage matrix with
     ``--matrix``, which honours ``--jobs``/``--no-cache``).
+``merge``
+    Combine the shard directories written by ``--shard I/N --shard-dir``
+    runs (``campaign``, ``verify``, shardable experiments) and reassemble
+    the single-host result bit-identically; refuses incomplete or
+    overlapping shard sets loudly.
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
 ``serve``
@@ -116,6 +121,22 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shard_flags(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=f"run only shard I of N of {what} (0-based round-robin); "
+        "requires --shard-dir, combine with 'repro merge'",
+    )
+    parser.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="output directory for this shard's cache and manifest",
+    )
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     for experiment_id in EXPERIMENT_IDS:
         print(f"{experiment_id:6}  {experiment_title(experiment_id)}")
@@ -148,7 +169,48 @@ def _parallel_overrides(runner, args: argparse.Namespace) -> Dict[str, Any]:
     return overrides
 
 
+#: Experiments whose grids can run as shards (id -> shard runner factory).
+def _shardable_experiments() -> Dict[str, Any]:
+    from repro.experiments.ext12_differential import run_ext12_shard
+
+    return {"EXT12": run_ext12_shard}
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.parallel import GridStats, ShardError
+
+    try:
+        sharding = _parse_shard(args)
+    except ShardError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if sharding is not None:
+        shard, shard_dir = sharding
+        shardable = _shardable_experiments()
+        ids = [experiment_id.upper() for experiment_id in args.ids]
+        if len(ids) != 1 or ids[0] not in shardable:
+            print(
+                f"--shard runs exactly one shardable experiment "
+                f"({', '.join(shardable)}), got {' '.join(ids)}",
+                file=sys.stderr,
+            )
+            return 2
+        stats = GridStats()
+        try:
+            run = shardable[ids[0]](
+                shard, shard_dir, jobs=args.jobs or 1, stats=stats
+            )
+        except ShardError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"shard {shard.render()} of {ids[0]} complete: "
+            f"{run.manifest.shard_task_count} of "
+            f"{run.manifest.grid_task_count} grid points -> {run.out_dir}"
+        )
+        _print_grid_stats(stats, args.json)
+        return 0
+
     failures = []
     for experiment_id in args.ids:
         runner = get_experiment(experiment_id)
@@ -188,15 +250,40 @@ def _parse_ring_spec(text: str):
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _parse_shard(args: argparse.Namespace):
+    """The validated (shard, out_dir) pair, or None when not sharding.
+
+    Raises ``ShardError`` on a malformed address or a missing
+    ``--shard-dir`` — both are user errors that must fail loudly.
+    """
+    from repro.parallel import ShardError, ShardSpec
+
+    if getattr(args, "shard", None) is None:
+        return None
+    if getattr(args, "shard_dir", None) is None:
+        raise ShardError(
+            "--shard requires --shard-dir DIR: each shard writes its cache "
+            "and manifest to its own directory, later combined with "
+            "'repro merge'"
+        )
+    return ShardSpec.parse(args.shard), args.shard_dir
+
+
+def _print_grid_stats(stats, json_mode: bool) -> None:
+    """Surface cache-hit counts so resumed runs visibly skip finished work."""
+    stream = sys.stderr if json_mode else sys.stdout
+    print(f"grid: {stats.render()}", file=stream)
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
-    from repro.core.campaign import RingSpec, run_campaign
+    from repro.core.campaign import RingSpec, run_campaign, run_campaign_shard
     from repro.fpga.board import BoardBank
     from repro.fpga.calibration import TABLE2_TARGETS
+    from repro.parallel import GridStats, ShardError
 
     specs = args.specs or [
         RingSpec(target.kind, target.stage_count) for target in TABLE2_TARGETS
     ]
-    bank = BoardBank.manufacture(board_count=args.boards, seed=args.bank_seed)
     progress = None
     if not args.json and sys.stderr.isatty():
 
@@ -205,6 +292,47 @@ def _command_campaign(args: argparse.Namespace) -> int:
             if done == total:
                 print(file=sys.stderr)
 
+    stats = GridStats()
+    try:
+        sharding = _parse_shard(args)
+    except ShardError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if sharding is not None:
+        shard, shard_dir = sharding
+        if args.backend != "event":
+            print(
+                "sharded campaigns run the event backend only "
+                "(the batch backend bypasses the per-segment cache that "
+                "merging relies on)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            run = run_campaign_shard(
+                specs,
+                shard,
+                shard_dir,
+                board_count=args.boards,
+                bank_seed=args.bank_seed,
+                jitter_periods=args.periods,
+                seed=args.seed,
+                jobs=args.jobs,
+                progress=progress,
+                stats=stats,
+            )
+        except ShardError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"shard {shard.render()} complete: "
+            f"{run.manifest.shard_task_count} of "
+            f"{run.manifest.grid_task_count} grid points -> {run.out_dir}"
+        )
+        _print_grid_stats(stats, args.json)
+        return 0
+
+    bank = BoardBank.manufacture(board_count=args.boards, seed=args.bank_seed)
     report = run_campaign(
         specs,
         bank=bank,
@@ -214,12 +342,68 @@ def _command_campaign(args: argparse.Namespace) -> int:
         cache=_cli_cache(args),
         progress=progress,
         backend=args.backend,
+        stats=stats,
     )
     if args.json:
         print(report.to_json())
     else:
         print(report.render())
+    if args.backend == "event":
+        _print_grid_stats(stats, args.json)
     return 0
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    from repro.parallel import GridStats, ShardError, merge_shards
+
+    try:
+        merged = merge_shards(args.dirs, args.out)
+    except ShardError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    workload = merged.workload
+    kind = workload.get("workload")
+    print(
+        f"merged {merged.shard_count} shards "
+        f"({merged.entries_absorbed} cache entries, "
+        f"{merged.grid_task_count} grid points) -> {merged.out_dir}",
+        file=sys.stderr if args.json else sys.stdout,
+    )
+    stats = GridStats()
+    if kind == "campaign":
+        from repro.core.campaign import assemble_campaign
+
+        report = assemble_campaign(merged, jobs=args.jobs, stats=stats)
+        print(report.to_json() if args.json else report.render())
+        _print_grid_stats(stats, args.json)
+        return 0
+    if kind == "verify":
+        from repro.verify.runner import assemble_verification
+
+        report = assemble_verification(merged, jobs=args.jobs, stats=stats)
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        _print_grid_stats(stats, args.json)
+        return 0 if report.passed else 1
+    if kind == "experiment" and workload.get("experiment") == "EXT12":
+        from repro.experiments.ext12_differential import assemble_ext12
+
+        result = assemble_ext12(merged, jobs=args.jobs, stats=stats)
+        print(result.to_json() if args.json else result.render())
+        _print_grid_stats(stats, args.json)
+        return 0 if result.all_checks_pass else 1
+    print(
+        f"don't know how to assemble a {kind!r} workload "
+        f"(experiment={workload.get('experiment')!r}); the merged cache at "
+        f"{merged.out_dir} is still valid for manual reassembly",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _command_cache(args: argparse.Namespace) -> int:
@@ -448,6 +632,42 @@ def _command_verify(args: argparse.Namespace) -> int:
             print(f"\r{done}/{total} claim checks", end="", file=sys.stderr)
             if done == total:
                 print(file=sys.stderr)
+
+    from repro.parallel import GridStats, ShardError
+
+    try:
+        sharding = _parse_shard(args)
+    except ShardError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if sharding is not None:
+        from repro.verify.runner import run_verification_shard
+
+        shard, shard_dir = sharding
+        stats = GridStats()
+        try:
+            run = run_verification_shard(
+                shard,
+                shard_dir,
+                claim_ids,
+                tier=args.tier,
+                seeds=args.seeds,
+                root_seed=args.seed,
+                overrides=overrides,
+                jobs=args.jobs,
+                progress=progress,
+                stats=stats,
+            )
+        except ShardError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"shard {shard.render()} complete: "
+            f"{run.manifest.shard_task_count} of "
+            f"{run.manifest.grid_task_count} claim checks -> {run.out_dir}"
+        )
+        _print_grid_stats(stats, args.json)
+        return 0
 
     report = run_verification(
         claim_ids,
@@ -678,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation backend for experiments that support it "
         "(batch = vectorized kernel, event = per-event reference engine)",
     )
+    _add_shard_flags(run_parser, "the experiment grid")
     _add_telemetry_flags(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
@@ -723,8 +944,35 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON results"
     )
+    _add_shard_flags(campaign_parser, "the campaign grid")
     _add_telemetry_flags(campaign_parser)
     campaign_parser.set_defaults(handler=_command_campaign)
+
+    merge_parser = subparsers.add_parser(
+        "merge",
+        help="combine shard directories and reassemble the single-host result",
+    )
+    merge_parser.add_argument(
+        "dirs",
+        nargs="+",
+        metavar="SHARD_DIR",
+        help="every shard directory of one grid (all shards required)",
+    )
+    merge_parser.add_argument(
+        "--out", required=True, metavar="DIR", help="merged output directory"
+    )
+    merge_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for reassembly (normally all cache hits)",
+    )
+    merge_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON results"
+    )
+    _add_telemetry_flags(merge_parser)
+    merge_parser.set_defaults(handler=_command_merge)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -1054,6 +1302,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument(
         "--list", action="store_true", help="list registered claims and exit"
     )
+    _add_shard_flags(verify_parser, "the (claim, seed) grid")
     _add_telemetry_flags(verify_parser)
     verify_parser.set_defaults(handler=_command_verify)
 

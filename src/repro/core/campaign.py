@@ -23,9 +23,10 @@ from repro.core.characterization import (
     sweep_voltage,
 )
 from repro.fpga.board import Board, BoardBank
-from repro.parallel.cache import ResultCache, fingerprint
-from repro.parallel.executor import GridTask, ProgressCallback, run_grid
+from repro.parallel.cache import ResultCache, _package_version, fingerprint
+from repro.parallel.executor import GridStats, GridTask, ProgressCallback, run_grid
 from repro.parallel.seeds import spawn_seeds
+from repro.parallel.sharding import MergedRun, ShardRun, ShardSpec, run_shard
 from repro.rings.iro import InverterRingOscillator
 from repro.rings.str_ring import SelfTimedRing
 from repro.simulation.noise import SeedLike
@@ -233,6 +234,44 @@ def _campaign_segments_batch(
     return segments
 
 
+def _campaign_tasks(
+    specs: Sequence[RingSpec],
+    rings: Sequence[Any],
+    lengths: Sequence[int],
+    spec_seeds: Sequence[Optional[int]],
+) -> List[GridTask]:
+    """The campaign's flat segment grid, seeds derived before any split.
+
+    Shared by the single-host path (:func:`run_campaign`) and the shard
+    path (:func:`run_campaign_shard`): both build the *whole* grid from
+    the same arguments, so a shard owns a subset of exactly the tasks —
+    and seeds — the single-host run would have evaluated.
+    """
+    tasks: List[GridTask] = []
+    for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
+        segment_seeds = spawn_seeds(spec_seed, len(lengths))
+        for segment_index, (length, segment_seed) in enumerate(zip(lengths, segment_seeds)):
+            tasks.append(
+                GridTask(
+                    kind="campaign_jitter_segment",
+                    spec={
+                        "ring": fingerprint(ring),
+                        "label": spec.label,
+                        "segment": segment_index,
+                        "period_count": length,
+                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                    },
+                    seed=segment_seed,
+                    payload={
+                        "ring": ring,
+                        "period_count": length,
+                        "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
+                    },
+                )
+            )
+    return tasks
+
+
 def _assemble_result(
     spec: RingSpec,
     ring,
@@ -272,6 +311,7 @@ def run_campaign(
     segment_periods: int = DEFAULT_SEGMENT_PERIODS,
     progress: Optional[ProgressCallback] = None,
     backend: str = "event",
+    stats: Optional[GridStats] = None,
 ) -> CampaignReport:
     """Characterize every spec over the bank and assemble the report.
 
@@ -339,31 +379,15 @@ def run_campaign(
                 board_count=len(bank),
                 q_target=q_target,
             )
-        tasks: List[GridTask] = []
-        for spec, ring, spec_seed in zip(specs, rings, spec_seeds):
-            segment_seeds = spawn_seeds(spec_seed, len(lengths))
-            for segment_index, (length, segment_seed) in enumerate(zip(lengths, segment_seeds)):
-                tasks.append(
-                    GridTask(
-                        kind="campaign_jitter_segment",
-                        spec={
-                            "ring": fingerprint(ring),
-                            "label": spec.label,
-                            "segment": segment_index,
-                            "period_count": length,
-                            "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
-                        },
-                        seed=segment_seed,
-                        payload={
-                            "ring": ring,
-                            "period_count": length,
-                            "warmup_periods": CAMPAIGN_WARMUP_PERIODS,
-                        },
-                    )
-                )
+        tasks = _campaign_tasks(specs, rings, lengths, spec_seeds)
         tele.set("segments", len(tasks))
         segments = run_grid(
-            tasks, _campaign_segment_worker, jobs=jobs, cache=cache, progress=progress
+            tasks,
+            _campaign_segment_worker,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            stats=stats,
         )
 
         results: List[RingCampaignResult] = []
@@ -433,4 +457,148 @@ def _run_campaign_legacy(
         voltages_v=[float(v) for v in voltages_v],
         board_count=len(bank),
         q_target=q_target,
+    )
+
+
+def campaign_workload(
+    specs: Sequence[RingSpec],
+    *,
+    board_count: int,
+    bank_seed: int,
+    voltages_v: Sequence[float],
+    jitter_periods: int,
+    q_target: float,
+    seed: int,
+    segment_periods: int,
+) -> Dict[str, Any]:
+    """JSON-able description of a campaign, complete enough to rebuild it.
+
+    Stored in every shard manifest so ``repro merge`` can reconstruct the
+    grid and reassemble the final report without re-stating the original
+    command line.
+    """
+    return {
+        "workload": "campaign",
+        "specs": [
+            {
+                "kind": spec.kind,
+                "stage_count": spec.stage_count,
+                "token_count": spec.token_count,
+            }
+            for spec in specs
+        ],
+        "board_count": int(board_count),
+        "bank_seed": int(bank_seed),
+        "voltages_v": [float(v) for v in voltages_v],
+        "jitter_periods": int(jitter_periods),
+        "q_target": float(q_target),
+        "seed": int(seed),
+        "segment_periods": int(segment_periods),
+    }
+
+
+def specs_from_workload(workload: Dict[str, Any]) -> List[RingSpec]:
+    """Rebuild the ring-spec list from a campaign workload document."""
+    return [
+        RingSpec(
+            kind=str(entry["kind"]),
+            stage_count=int(entry["stage_count"]),
+            token_count=None if entry.get("token_count") is None else int(entry["token_count"]),
+        )
+        for entry in workload["specs"]
+    ]
+
+
+def run_campaign_shard(
+    specs: Sequence[RingSpec],
+    shard: ShardSpec,
+    out_dir: Any,
+    *,
+    board_count: int = 5,
+    bank_seed: int = 0,
+    voltages_v: Sequence[float] = (1.0, 1.2, 1.4),
+    jitter_periods: int = 2048,
+    q_target: float = 0.2,
+    seed: int = 0,
+    segment_periods: int = DEFAULT_SEGMENT_PERIODS,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+    stats: Optional[GridStats] = None,
+) -> ShardRun:
+    """Run one shard of a campaign's segment grid into ``out_dir``.
+
+    Builds exactly the grid :func:`run_campaign` would build from the
+    same arguments — seeds fanned out over the *whole* grid before the
+    round-robin split — then evaluates only this shard's subset.  The
+    output directory is self-contained (result cache + metrics snapshot
+    + crash-safe manifest); :func:`repro.parallel.sharding.merge_shards`
+    plus :func:`assemble_campaign` turn a complete shard set into a
+    report bit-identical to the single-host run.
+    """
+    if not specs:
+        raise ValueError("need at least one ring spec")
+    bank = BoardBank.manufacture(board_count=board_count, seed=bank_seed)
+    rings = [spec.build(bank[0]) for spec in specs]
+    spec_seeds = spawn_seeds(seed, len(specs))
+    lengths = _segment_lengths(jitter_periods, segment_periods)
+    tasks = _campaign_tasks(specs, rings, lengths, spec_seeds)
+    workload = campaign_workload(
+        specs,
+        board_count=board_count,
+        bank_seed=bank_seed,
+        voltages_v=voltages_v,
+        jitter_periods=jitter_periods,
+        q_target=q_target,
+        seed=seed,
+        segment_periods=segment_periods,
+    )
+    return run_shard(
+        tasks,
+        _campaign_segment_worker,
+        shard,
+        out_dir,
+        workload=workload,
+        version=_package_version(),
+        jobs=jobs,
+        progress=progress,
+        stats=stats,
+    )
+
+
+def assemble_campaign(
+    merged: MergedRun,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+    stats: Optional[GridStats] = None,
+) -> CampaignReport:
+    """Reassemble the final report from a merged campaign shard set.
+
+    Replays the full grid against the merged cache — every segment is a
+    hit (merge validation guarantees completeness), and the remaining
+    assembly steps (voltage sweep, dispersion, provisioning) are
+    deterministic — so the report, and its ``to_json()`` bytes, are
+    identical to what the single-host run produces.
+    """
+    workload = merged.workload
+    if workload.get("workload") != "campaign":
+        raise ValueError(
+            f"merged run holds a {workload.get('workload')!r} workload, not a campaign"
+        )
+    specs = specs_from_workload(workload)
+    bank = BoardBank.manufacture(
+        board_count=int(workload["board_count"]), seed=int(workload["bank_seed"])
+    )
+    return run_campaign(
+        specs,
+        bank,
+        voltages_v=workload["voltages_v"],
+        jitter_periods=int(workload["jitter_periods"]),
+        q_target=float(workload["q_target"]),
+        seed=int(workload["seed"]),
+        jobs=jobs,
+        cache=merged.cache,
+        segment_periods=int(workload["segment_periods"]),
+        progress=progress,
+        stats=stats,
     )

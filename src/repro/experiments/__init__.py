@@ -29,6 +29,8 @@ EXT7      counter statistics of the coherent-sampling TRNG
 EXT8      the throughput/entropy design tradeoff
 EXT9      XOR-of-IROs baseline vs the multi-phase STR
 EXT10     fault-injection campaign over the supervised runtime
+EXT11     RO-PUF population quality on the process model
+EXT12     differential jitter measurement vs the counter method
 ABL1-5    design-choice ablations (Charlie, routing, process, ...)
 ========  ==========================================================
 """

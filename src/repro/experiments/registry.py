@@ -22,6 +22,7 @@ from repro.experiments import (
     ext9_xored_baseline,
     ext10_fault_recovery,
     ext11_puf_population,
+    ext12_differential,
     fig04_propagation,
     fig05_modes,
     fig07_charlie,
@@ -62,6 +63,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "EXT9": ext9_xored_baseline.run,
     "EXT10": ext10_fault_recovery.run,
     "EXT11": ext11_puf_population.run,
+    "EXT12": ext12_differential.run,
     "ABL1": abl1_charlie.run,
     "ABL2": abl2_routing.run,
     "ABL3": abl3_process.run,

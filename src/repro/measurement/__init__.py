@@ -13,6 +13,9 @@ subpackage models that whole chain:
 * :mod:`repro.measurement.jitter` — the measurement procedures: direct
   period jitter, and the divider method with its normality
   pre-check and the Eq. 6 recovery.
+* :mod:`repro.measurement.differential` — the differential alternative:
+  a co-located ring pair on one board, simultaneously triggered windows,
+  common-mode ripple cancelled by subtraction (EXT12).
 """
 
 from repro.measurement.probes import LvdsOutputPath
@@ -29,6 +32,13 @@ from repro.measurement.jitter import (
     measure_period_jitter_direct,
     measure_period_jitter_divider,
 )
+from repro.measurement.differential import (
+    ColocatedPair,
+    DifferentialJitterReading,
+    measure_pair,
+    windowed_durations,
+    worst_case_ripple,
+)
 
 __all__ = [
     "LvdsOutputPath",
@@ -43,4 +53,9 @@ __all__ = [
     "DividerJitterReading",
     "measure_period_jitter_direct",
     "measure_period_jitter_divider",
+    "ColocatedPair",
+    "DifferentialJitterReading",
+    "measure_pair",
+    "windowed_durations",
+    "worst_case_ripple",
 ]

@@ -72,6 +72,41 @@ def _package_version() -> str:
     return getattr(repro, "__version__", "0")
 
 
+def atomic_write_json(path: Union[str, Path], payload: Any) -> None:
+    """Publish a JSON document with the cache's atomic-rename discipline.
+
+    The document lands in a sibling temporary file and is renamed over
+    the destination, so concurrent readers only ever observe either the
+    previous complete document or the new one — never a torn write.
+    Shard manifests and metrics snapshots (``repro.parallel.sharding``)
+    go through this helper so every multi-process writer in the parallel
+    layer shares one publication protocol.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+        os.replace(handle.name, path)
+    except BaseException:
+        ResultCache._discard_tmp(handle.name)
+        raise
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Read a JSON document written by :func:`atomic_write_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def fingerprint(obj: Any) -> str:
     """Content fingerprint of an arbitrary picklable object.
 
@@ -273,6 +308,45 @@ class ResultCache:
                 continue
             for path in sorted(shard.glob("*.json")):
                 yield path
+
+    def entries(self):
+        """Iterate over every complete entry path in the cache."""
+        yield from self._entry_paths()
+
+    def absorb(self, other: "ResultCache") -> int:
+        """Copy every entry of ``other`` into this cache; return the count copied.
+
+        The union of content-addressed caches is conflict-free by
+        construction: equal keys hold equal payloads, so an entry that
+        already exists here is simply skipped.  Each copied entry is
+        published with the same tmp-file + ``os.replace`` discipline as
+        :meth:`put`, so a reader racing the merge only ever sees complete
+        entries.  This is the primitive the shard merge step
+        (:func:`repro.parallel.sharding.merge_shards`) is built on.
+        """
+        copied = 0
+        for source in other._entry_paths():
+            destination = self.root / source.parent.name / source.name
+            if destination.exists():
+                continue
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "wb",
+                dir=destination.parent,
+                prefix=f".{source.stem[:8]}.",
+                suffix=".tmp",
+                delete=False,
+            )
+            try:
+                with handle:
+                    handle.write(source.read_bytes())
+                os.replace(handle.name, destination)
+            except BaseException:
+                self._discard_tmp(handle.name)
+                raise
+            copied += 1
+        default_registry().counter("repro.parallel.cache.absorbed").inc(copied)
+        return copied
 
     def stats(self) -> CacheStats:
         """Walk the cache directory and summarize it."""

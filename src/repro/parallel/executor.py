@@ -79,6 +79,33 @@ class GridTask:
     payload: Any = None
 
 
+@dataclasses.dataclass
+class GridStats:
+    """Mutable run accounting filled in by :func:`run_grid`.
+
+    Pass an instance through the ``stats`` parameter to learn, after the
+    call, how much of the grid was served from the cache versus actually
+    executed — the number a resumed campaign prints so the user can see
+    finished points being skipped.
+    """
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def merge(self, other: "GridStats") -> None:
+        """Accumulate another grid's accounting (multi-grid drivers)."""
+        self.total += other.total
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+
+    def render(self) -> str:
+        return (
+            f"{self.total} grid points: {self.cache_hits} cached, "
+            f"{self.executed} executed"
+        )
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a job-count request; ``None``/``0`` means all cores."""
     if jobs is None or jobs == 0:
@@ -154,6 +181,7 @@ def run_grid(
     cache: Optional[ResultCache] = None,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    stats: Optional[GridStats] = None,
 ) -> List[Any]:
     """Evaluate every task and return the results in task order.
 
@@ -175,6 +203,9 @@ def run_grid(
     progress:
         Optional ``callback(done, total)``; cache hits are reported
         up-front as already done.
+    stats:
+        Optional :class:`GridStats` accumulator; on return it has been
+        incremented by this grid's total/cache-hit/executed counts.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -195,6 +226,8 @@ def run_grid(
             pending.append(index)
         done = total - len(pending)
         tele.set("cache_hits", done)
+        if stats is not None:
+            stats.merge(GridStats(total=total, cache_hits=done, executed=len(pending)))
         if progress is not None and total:
             progress(done, total)
         if not pending:

@@ -18,7 +18,7 @@ per grid point from the root seed with ``numpy.random.SeedSequence``:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -45,3 +45,26 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[Optional[int]]:
         )
     children = np.random.SeedSequence(int(seed)).spawn(count)
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+def spawn_seed_subset(
+    seed: SeedLike, count: int, indices: Sequence[int]
+) -> List[Optional[int]]:
+    """The selected children of a ``count``-wide fan-out.
+
+    This is the property sharded execution rests on: a shard always
+    derives the seeds of the *whole* grid and then selects its own
+    indices, so the seed of grid point ``i`` is a function of
+    ``(root, i, count)`` alone — never of how the grid was partitioned.
+    Any ``(shard_index, shard_count)`` split therefore reproduces the
+    single-host streams exactly.
+    """
+    children = spawn_seeds(seed, count)
+    out: List[Optional[int]] = []
+    for index in indices:
+        if not 0 <= int(index) < count:
+            raise IndexError(
+                f"seed index {index} out of range for a fan-out of {count}"
+            )
+        out.append(children[int(index)])
+    return out

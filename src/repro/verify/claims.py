@@ -1114,3 +1114,128 @@ register_claim(
         check=_check_puf_stable,
     )
 )
+
+
+# ----------------------------------------------------------------------
+# EXT12 — differential measurement rejects common-mode ripple (extension)
+# ----------------------------------------------------------------------
+def _check_ext12_ripple(seed: int, params: Mapping[str, Any]) -> Evidence:
+    from repro.measurement.differential import (
+        ColocatedPair,
+        measure_pair,
+        worst_case_ripple,
+    )
+
+    board = claim_board(params)
+    pair = ColocatedPair.on_board(board, int(params["stages"]))
+    periods = int(params["periods_per_window"])
+    ripple = worst_case_ripple(pair, periods, float(params["amplitude"]))
+    diff_ratios: List[float] = []
+    counter_ratios: List[float] = []
+    for sub in _subseeds(seed, int(params["repeats"])):
+        reading = measure_pair(
+            pair, int(params["windows"]), periods, seed=sub, modulation=ripple
+        )
+        diff_ratios.append(reading.differential_sigma_ps / reading.true_sigma_ps)
+        counter_ratios.append(reading.counter_sigma_a_ps / reading.true_sigma_a_ps)
+    decision = tost(diff_ratios, target=1.0, margin=float(params["margin"]))
+    counter_floor = 1.0 + float(params["counter_excess"])
+    counter_inflated = min(counter_ratios) > counter_floor
+    return Evidence(
+        passed=decision.passed and counter_inflated,
+        observed={
+            "differential_over_true": diff_ratios,
+            "counter_over_true": counter_ratios,
+            "mean_differential_ratio": decision.mean,
+        },
+        detail=(
+            "differential ratio under worst-case ripple; "
+            + decision.describe()
+            + f"; counter ratios {['%.2f' % value for value in counter_ratios]} "
+            f"must all exceed {counter_floor:.2f} "
+            f"({'do' if counter_inflated else 'do NOT'})"
+        ),
+    )
+
+
+register_claim(
+    ClaimSpec(
+        claim_id="EXT12",
+        title="the differential pair rejects ripple that inflates the counter method",
+        paper_ref="EXT12 extension of Fig. 10 / Eq. 6 under deterministic modulation",
+        criterion="TOST on the differential/true ratio AND counter ratio above floor",
+        estimator="co-located pair difference vs Eq. 6 on the same windowed durations",
+        tiers={
+            "quick": {
+                "stages": 9, "windows": 192, "periods_per_window": 64,
+                "amplitude": 7e-4, "repeats": 4, "margin": 0.15,
+                "counter_excess": 0.5,
+            },
+            "full": {
+                "stages": 9, "windows": 384, "periods_per_window": 64,
+                "amplitude": 7e-4, "repeats": 6, "margin": 0.10,
+                "counter_excess": 0.5,
+            },
+        },
+        check=_check_ext12_ripple,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# EXT12-VAR — on a quiet supply both estimators agree with the model
+# ----------------------------------------------------------------------
+def _check_ext12_quiet(seed: int, params: Mapping[str, Any]) -> Evidence:
+    from repro.measurement.differential import ColocatedPair, measure_pair
+
+    board = claim_board(params)
+    pair = ColocatedPair.on_board(board, int(params["stages"]))
+    diff_ratios: List[float] = []
+    counter_ratios: List[float] = []
+    for sub in _subseeds(seed, int(params["repeats"])):
+        reading = measure_pair(
+            pair,
+            int(params["windows"]),
+            int(params["periods_per_window"]),
+            seed=sub,
+        )
+        diff_ratios.append(reading.differential_sigma_ps / reading.true_sigma_ps)
+        counter_ratios.append(reading.counter_sigma_a_ps / reading.true_sigma_a_ps)
+    margin = float(params["margin"])
+    diff_decision = tost(diff_ratios, target=1.0, margin=margin)
+    counter_decision = tost(counter_ratios, target=1.0, margin=margin)
+    return Evidence(
+        passed=diff_decision.passed and counter_decision.passed,
+        observed={
+            "differential_over_true": diff_ratios,
+            "counter_over_true": counter_ratios,
+        },
+        detail=(
+            "quiet supply; differential: "
+            + diff_decision.describe()
+            + "; counter: "
+            + counter_decision.describe()
+        ),
+    )
+
+
+register_claim(
+    ClaimSpec(
+        claim_id="EXT12-VAR",
+        title="with no ripple the differential and counter estimates coincide",
+        paper_ref="EXT12 extension — estimator equivalence on a quiet supply",
+        criterion="TOST on both estimators' ratio to the analytic sigma",
+        estimator="differential pair and Eq. 6 on identical quiet windows",
+        tiers={
+            "quick": {
+                "stages": 9, "windows": 192, "periods_per_window": 64,
+                "repeats": 4, "margin": 0.15,
+            },
+            "full": {
+                "stages": 9, "windows": 384, "periods_per_window": 64,
+                "repeats": 6, "margin": 0.10,
+            },
+        },
+        check=_check_ext12_quiet,
+    )
+)

@@ -25,7 +25,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.parallel import GridTask, ResultCache, run_grid
+from repro.parallel import GridStats, GridTask, ResultCache, run_grid
+from repro.parallel.cache import _package_version
+from repro.parallel.sharding import MergedRun, ShardRun, ShardSpec, run_shard
 from repro.telemetry import default_registry, span
 from repro.verify.claims import ClaimOutcome, all_claim_ids, get_claim
 from repro.verify.criteria import wilson_interval
@@ -179,26 +181,14 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-def run_verification(
-    claim_ids: Optional[Sequence[str]] = None,
-    *,
-    tier: str = "quick",
-    seeds: int = 5,
-    root_seed: int = 0,
-    jobs: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
-    overrides: Optional[Mapping[str, Any]] = None,
-    bundle_dir: Optional[str] = None,
-    progress: Optional[Any] = None,
-) -> VerificationReport:
-    """Sweep every selected claim across derived seeds and report.
-
-    ``overrides`` are merged into every claim's tier parameters — the
-    injection hook (``{"sigma_g_scale": 2.0}`` is the canonical seeded
-    regression).  Because the overridden params land in the task spec,
-    injected runs never collide with clean runs in the cache.
-    """
-    selected = [get_claim(cid) for cid in (claim_ids or all_claim_ids())]
+def _verification_tasks(
+    selected: Sequence[Any],
+    tier: str,
+    seeds: int,
+    root_seed: int,
+    overrides: Optional[Mapping[str, Any]],
+) -> List[GridTask]:
+    """The full (claim, seed) grid; shared by sweep and shard paths."""
     tasks: List[GridTask] = []
     for claim in selected:
         params = claim.params_for(tier)
@@ -212,11 +202,41 @@ def run_verification(
                     seed=seed,
                 )
             )
+    return tasks
+
+
+def run_verification(
+    claim_ids: Optional[Sequence[str]] = None,
+    *,
+    tier: str = "quick",
+    seeds: int = 5,
+    root_seed: int = 0,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    bundle_dir: Optional[str] = None,
+    progress: Optional[Any] = None,
+    stats: Optional[GridStats] = None,
+) -> VerificationReport:
+    """Sweep every selected claim across derived seeds and report.
+
+    ``overrides`` are merged into every claim's tier parameters — the
+    injection hook (``{"sigma_g_scale": 2.0}`` is the canonical seeded
+    regression).  Because the overridden params land in the task spec,
+    injected runs never collide with clean runs in the cache.
+    """
+    selected = [get_claim(cid) for cid in (claim_ids or all_claim_ids())]
+    tasks = _verification_tasks(selected, tier, seeds, root_seed, overrides)
     with span(
         "verify_sweep", tier=tier, claims=len(selected), seeds=seeds
     ) as tele:
         raw = run_grid(
-            tasks, _claim_task_worker, jobs=jobs, cache=cache, progress=progress
+            tasks,
+            _claim_task_worker,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            stats=stats,
         )
         outcomes = [ClaimOutcome.from_dict(payload) for payload in raw]
         sweeps: List[ClaimSweepResult] = []
@@ -255,3 +275,80 @@ def run_verification(
         if not report.passed:
             registry.counter("repro.verify.sweep_failures").inc()
         return report
+
+
+def run_verification_shard(
+    shard: ShardSpec,
+    out_dir: Any,
+    claim_ids: Optional[Sequence[str]] = None,
+    *,
+    tier: str = "quick",
+    seeds: int = 5,
+    root_seed: int = 0,
+    overrides: Optional[Mapping[str, Any]] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[Any] = None,
+    stats: Optional[GridStats] = None,
+) -> ShardRun:
+    """Run one shard of the (claim, seed) verification grid into ``out_dir``.
+
+    The grid — and every derived seed — is built exactly as
+    :func:`run_verification` builds it, then the round-robin subset is
+    executed.  Merging a complete shard set and calling
+    :func:`assemble_verification` reproduces the single-host report.
+    """
+    resolved = list(claim_ids or all_claim_ids())
+    selected = [get_claim(cid) for cid in resolved]
+    tasks = _verification_tasks(selected, tier, seeds, root_seed, overrides)
+    workload = {
+        "workload": "verify",
+        "claims": [claim.claim_id for claim in selected],
+        "tier": tier,
+        "seeds": int(seeds),
+        "root_seed": int(root_seed),
+        "overrides": dict(overrides or {}),
+    }
+    return run_shard(
+        tasks,
+        _claim_task_worker,
+        shard,
+        out_dir,
+        workload=workload,
+        version=_package_version(),
+        jobs=jobs,
+        progress=progress,
+        stats=stats,
+    )
+
+
+def assemble_verification(
+    merged: MergedRun,
+    *,
+    bundle_dir: Optional[str] = None,
+    jobs: Optional[int] = 1,
+    progress: Optional[Any] = None,
+    stats: Optional[GridStats] = None,
+) -> VerificationReport:
+    """Reassemble the verification report from a merged shard set.
+
+    Replays the grid against the merged cache (all hits) and folds the
+    outcomes into per-claim sweeps exactly as the single-host path does.
+    """
+    workload = merged.workload
+    if workload.get("workload") != "verify":
+        raise ValueError(
+            f"merged run holds a {workload.get('workload')!r} workload, "
+            f"not a verification sweep"
+        )
+    return run_verification(
+        list(workload["claims"]),
+        tier=str(workload["tier"]),
+        seeds=int(workload["seeds"]),
+        root_seed=int(workload["root_seed"]),
+        jobs=jobs,
+        cache=merged.cache,
+        overrides=dict(workload.get("overrides") or {}) or None,
+        bundle_dir=bundle_dir,
+        progress=progress,
+        stats=stats,
+    )

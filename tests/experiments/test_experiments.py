@@ -36,6 +36,7 @@ class TestRegistry:
             "EXT9",
             "EXT10",
             "EXT11",
+            "EXT12",
             "ABL1",
             "ABL2",
             "ABL3",

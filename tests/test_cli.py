@@ -648,3 +648,102 @@ class TestPufCommand:
         assert main(["verify", "--claims", "C6,EXT-FAILSAFE", "--seeds", "2"]) == 0
         output = capsys.readouterr().out
         assert "C6" in output and "EXT-FAILSAFE" in output
+
+
+class TestShardingCli:
+    """--shard/--shard-dir and the merge command, happy path and errors."""
+
+    CAMPAIGN = ["campaign", "iro:3", "--boards", "2", "--periods", "512", "--seed", "5"]
+
+    def test_shard_out_of_range(self, capsys, tmp_path):
+        rc = main(self.CAMPAIGN + ["--shard", "3/2", "--shard-dir", str(tmp_path / "s")])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_shard_zero_count(self, capsys, tmp_path):
+        rc = main(self.CAMPAIGN + ["--shard", "0/0", "--shard-dir", str(tmp_path / "s")])
+        assert rc == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_shard_negative_index(self, capsys, tmp_path):
+        rc = main(self.CAMPAIGN + ["--shard=-1/2", "--shard-dir", str(tmp_path / "s")])
+        assert rc == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_shard_malformed(self, capsys, tmp_path):
+        rc = main(self.CAMPAIGN + ["--shard", "nope", "--shard-dir", str(tmp_path / "s")])
+        assert rc == 2
+        assert "malformed shard address" in capsys.readouterr().err
+
+    def test_shard_requires_shard_dir(self, capsys):
+        rc = main(self.CAMPAIGN + ["--shard", "0/2"])
+        assert rc == 2
+        assert "--shard-dir" in capsys.readouterr().err
+
+    def test_shard_rejects_batch_backend(self, capsys, tmp_path):
+        rc = main(
+            self.CAMPAIGN
+            + ["--backend", "batch", "--shard", "0/2", "--shard-dir", str(tmp_path / "s")]
+        )
+        assert rc == 2
+        assert "event backend" in capsys.readouterr().err
+
+    def test_merge_missing_shard(self, capsys, tmp_path):
+        assert main(self.CAMPAIGN + ["--shard", "0/2", "--shard-dir", str(tmp_path / "s0")]) == 0
+        capsys.readouterr()
+        rc = main(["merge", str(tmp_path / "s0"), "--out", str(tmp_path / "m")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "missing from the merge set" in err
+
+    def test_merge_overlapping_shards(self, capsys, tmp_path):
+        for index in range(2):
+            assert main(
+                self.CAMPAIGN
+                + ["--shard", f"{index}/2", "--shard-dir", str(tmp_path / f"s{index}")]
+            ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["merge", str(tmp_path / "s0"), str(tmp_path / "s0"), str(tmp_path / "s1"),
+             "--out", str(tmp_path / "m")]
+        )
+        assert rc == 2
+        assert "overlapping shards" in capsys.readouterr().err
+
+    def test_merge_non_shard_directory(self, capsys, tmp_path):
+        (tmp_path / "junk").mkdir()
+        rc = main(["merge", str(tmp_path / "junk"), "--out", str(tmp_path / "m")])
+        assert rc == 2
+        assert "not a shard directory" in capsys.readouterr().err
+
+    def test_run_shard_rejects_unshardable_experiment(self, capsys, tmp_path):
+        rc = main(["run", "FIG4", "--shard", "0/2", "--shard-dir", str(tmp_path / "s")])
+        assert rc == 2
+        assert "shardable experiment" in capsys.readouterr().err
+
+    def test_sharded_campaign_merge_matches_single_host(self, capsys, tmp_path):
+        for index in range(2):
+            assert main(
+                self.CAMPAIGN
+                + ["--shard", f"{index}/2", "--shard-dir", str(tmp_path / f"s{index}")]
+            ) == 0
+        capsys.readouterr()
+        assert main(
+            ["merge", str(tmp_path / "s0"), str(tmp_path / "s1"),
+             "--out", str(tmp_path / "m"), "--json"]
+        ) == 0
+        merged_json = capsys.readouterr().out
+        assert main(self.CAMPAIGN + ["--json", "--no-cache"]) == 0
+        single_json = capsys.readouterr().out
+        assert merged_json == single_json
+
+    def test_campaign_rerun_reports_cache_hits(self, capsys, tmp_path, monkeypatch):
+        """Resume regression: the second run must say every grid point
+        came from the cache, not silently recompute."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(self.CAMPAIGN) == 0
+        first = capsys.readouterr().out
+        assert "grid: 1 grid points: 0 cached, 1 executed" in first
+        assert main(self.CAMPAIGN) == 0
+        second = capsys.readouterr().out
+        assert "grid: 1 grid points: 1 cached, 0 executed" in second
